@@ -1,0 +1,84 @@
+// Ablation study (our addition; DESIGN.md E7): contribution of each design
+// choice of the proposed router, measured on one mid-size instance:
+//   - color flipping (per-net + final, §III-C)
+//   - the gamma*T2b avoidance term of eq. (5)
+//   - the windowed cut-conflict check + rip-up (§III-D)
+//   - the post-pass violation repair
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sadp;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  RouterOptions opts;
+};
+
+void runVariant(const Variant& v, const BenchmarkSpec& spec) {
+  BenchmarkInstance inst = makeBenchmark(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  OverlayAwareRouter router(inst.grid, inst.netlist, v.opts);
+  const RoutingStats s = router.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const OverlayReport r = router.physicalReport();
+  std::printf("%-22s rout=%6.2f%%  ovlUnits=%8lld  side=%8lldnm  hard=%4d  "
+              "#C=%4d  cpu=%6.2fs\n",
+              v.name, s.routability(),
+              (long long)router.model().totalOverlayUnits(),
+              (long long)r.sideOverlayNm, r.hardOverlays, r.cutConflicts(),
+              secs);
+}
+
+}  // namespace
+
+int main() {
+  const BenchmarkSpec spec = bench::scaled(paperBenchmark("Test2"), 1);
+  std::printf("Ablation on %s (%d nets)\n", spec.name.c_str(),
+              spec.netCount);
+
+  std::vector<Variant> variants;
+  variants.push_back({"full (proposed)", RouterOptions{}});
+  {
+    RouterOptions o;
+    o.enableColorFlip = false;
+    variants.push_back({"- color flipping", o});
+  }
+  {
+    RouterOptions o;
+    o.finalGlobalFlip = false;
+    variants.push_back({"- final global flip", o});
+  }
+  {
+    RouterOptions o;
+    o.enableT2bAvoidance = false;
+    o.astar.gamma = 0.0;
+    variants.push_back({"- T2b avoidance", o});
+  }
+  {
+    RouterOptions o;
+    o.enableCutCheck = false;
+    variants.push_back({"- cut check", o});
+  }
+  {
+    RouterOptions o;
+    o.enableRepair = false;
+    variants.push_back({"- repair pass", o});
+  }
+  {
+    RouterOptions o;
+    o.enableColorFlip = false;
+    o.enableT2bAvoidance = false;
+    o.astar.gamma = 0.0;
+    o.enableCutCheck = false;
+    o.enableRepair = false;
+    variants.push_back({"bare A* + greedy", o});
+  }
+  for (const Variant& v : variants) runVariant(v, spec);
+  return 0;
+}

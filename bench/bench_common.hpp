@@ -1,0 +1,36 @@
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Default runs use scaled-down instances so the whole bench suite finishes
+// in minutes; set SADP_FULL=1 for paper-scale circuits, or SADP_SCALE=<f>
+// for an explicit scale factor (net count scales by f, die edge by sqrt(f),
+// keeping density fixed).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "eval/eval.hpp"
+
+namespace sadp::bench {
+
+/// Per-circuit default scale factors (Test1..Test10 order of
+/// paperBenchmarks()); chosen so each circuit routes in seconds.
+inline double defaultScale(int index) {
+  static constexpr double kScale[10] = {0.15, 0.12, 0.06, 0.03, 0.015,
+                                        0.15, 0.12, 0.06, 0.03, 0.015};
+  return kScale[index % 10];
+}
+
+/// Applies SADP_FULL / SADP_SCALE to a spec.
+inline BenchmarkSpec scaled(const BenchmarkSpec& spec, int index) {
+  if (const char* full = std::getenv("SADP_FULL"); full && full[0] == '1') {
+    return spec;
+  }
+  double f = defaultScale(index);
+  if (const char* s = std::getenv("SADP_SCALE")) {
+    f = std::atof(s);
+  }
+  return f >= 1.0 ? spec : spec.scaled(f);
+}
+
+}  // namespace sadp::bench

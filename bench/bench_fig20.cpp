@@ -1,0 +1,36 @@
+// Regenerates Fig. 20: running time of the proposed router as a function
+// of the number of nets, with the least-squares empirical complexity
+// exponent (the paper fits ~n^1.42).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sadp;
+
+int main() {
+  // Sweep a geometric ladder of instance sizes derived from Test5's
+  // density; SADP_FULL extends the ladder to paper-scale net counts.
+  std::vector<double> scales{0.005, 0.01, 0.02, 0.04, 0.08};
+  if (const char* full = std::getenv("SADP_FULL"); full && full[0] == '1') {
+    scales = {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1.0};
+  }
+  const BenchmarkSpec base = paperBenchmark("Test5");
+  std::vector<ExperimentRow> rows;
+  for (double f : scales) {
+    const BenchmarkSpec spec = base.scaled(f);
+    std::fprintf(stderr, "[fig20] %d nets...\n", spec.netCount);
+    ExperimentRow row = runProposed(spec);
+    row.circuit = "Test5@" + std::to_string(spec.netCount);
+    rows.push_back(row);
+    std::printf("nets=%6d  time=%8.3fs  routability=%6.2f%%\n", row.nets,
+                row.cpuSeconds, row.routability);
+  }
+  if (auto exp = runtimeExponent(rows)) {
+    std::printf("\nFig.20 least-squares runtime exponent: n^%.2f "
+                "(paper: ~n^1.42)\n",
+                *exp);
+  }
+  return 0;
+}

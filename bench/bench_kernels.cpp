@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) of the core kernels: scenario
+// classification, parity union-find, A*-search, color-flipping DP, and
+// mask synthesis. These back the complexity claims of §III-E.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "color/flipping.hpp"
+#include "ocg/overlay_model.hpp"
+#include "route/astar.hpp"
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+namespace {
+
+void BM_ClassifyPair(benchmark::State& state) {
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<Track> d(0, 12);
+  std::vector<std::pair<Fragment, Fragment>> pairs;
+  for (int i = 0; i < 512; ++i) {
+    Fragment a{d(rng), d(rng), Track(d(rng) + 13), Track(d(rng) + 13), 1};
+    Fragment b{d(rng), d(rng), Track(d(rng) + 13), Track(d(rng) + 13), 2};
+    pairs.emplace_back(a, b);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(classify(a, b));
+  }
+}
+BENCHMARK(BM_ClassifyPair);
+
+void BM_ParityDsuUnite(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ParityDsu dsu;
+    dsu.ensure(n - 1);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(dsu.unite(d(rng), d(rng), std::uint8_t(i & 1)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_ParityDsuUnite)->Arg(1024)->Arg(16384);
+
+void BM_AStarRoute(benchmark::State& state) {
+  const Track size = Track(state.range(0));
+  RoutingGrid grid(size, size, 3, DesignRules{});
+  AStarEngine engine(grid);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<Track> d(0, size - 1);
+  for (auto _ : state) {
+    const GridNode s{d(rng), d(rng), 0};
+    const GridNode t{d(rng), d(rng), 0};
+    benchmark::DoNotOptimize(engine.route(1, {&s, 1}, {&t, 1}, AStarParams{}));
+  }
+}
+BENCHMARK(BM_AStarRoute)->Arg(64)->Arg(256);
+
+void BM_ColorFlipChain(benchmark::State& state) {
+  const int n = int(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    OverlayConstraintGraph g;
+    for (int v = 1; v < n; ++v) {
+      Classification c;
+      c.type = ScenarioType::T3a;
+      c.overlay = {1, 0, 0, 1};
+      g.addScenario(v - 1, v, c);
+    }
+    for (int v = 0; v < n; ++v) g.setColor(v, Color::Core);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(colorFlip(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ColorFlipChain)->Arg(256)->Arg(4096);
+
+void BM_DecomposeLayer(benchmark::State& state) {
+  const Track rowsN = Track(state.range(0));
+  std::vector<ColoredFragment> frags;
+  for (Track y = 0; y < rowsN; ++y) {
+    frags.push_back({Fragment{0, Track(y * 2), 32, Track(y * 2 + 1),
+                              NetId(y)},
+                     (y % 2) ? Color::Second : Color::Core});
+  }
+  const DesignRules rules;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomposeLayer(frags, rules));
+  }
+  state.SetItemsProcessed(state.iterations() * rowsN);
+}
+BENCHMARK(BM_DecomposeLayer)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace sadp
+
+BENCHMARK_MAIN();

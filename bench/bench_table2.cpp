@@ -1,0 +1,118 @@
+// Regenerates Table II: the potential-overlay-scenario rule table --
+// for every scenario type, the color rule, the minimum side overlay when
+// the rule is followed ("min SO") and the worst side overlay when it is
+// not ("max SO") -- and cross-checks each entry against the bitmap mask
+// synthesizer on a canonical witness layout (Appendix Figs. 24-34).
+#include <cstdio>
+#include <vector>
+
+#include "sadp/decompose.hpp"
+
+using namespace sadp;
+
+namespace {
+
+struct Witness {
+  ScenarioType type;
+  Fragment a, b;
+};
+
+Fragment hw(NetId net, Track x0, Track x1, Track y) {
+  return Fragment{x0, y, x1, y + 1, net};
+}
+Fragment vw(NetId net, Track x, Track y0, Track y1) {
+  return Fragment{x, y0, x + 1, y1, net};
+}
+
+// One canonical dependent pair per scenario type (4-track wires).
+std::vector<Witness> witnesses() {
+  return {
+      {ScenarioType::T1a, hw(1, 0, 4, 0), hw(2, 0, 4, 1)},
+      {ScenarioType::T1b, hw(1, 0, 4, 5), vw(2, 2, 0, 5)},
+      {ScenarioType::T2a, hw(1, 0, 4, 0), hw(2, 0, 4, 2)},
+      {ScenarioType::T2b, hw(1, 0, 4, 5), vw(2, 2, 0, 4)},
+      {ScenarioType::T2c, hw(1, 0, 4, 0), hw(2, 4, 8, 0)},
+      {ScenarioType::T2d, hw(1, 0, 4, 0), hw(2, 5, 9, 0)},
+      {ScenarioType::T3a, hw(1, 0, 4, 0), hw(2, 4, 8, 1)},
+      {ScenarioType::T3b, hw(1, 0, 4, 0), vw(2, 4, 1, 5)},
+      {ScenarioType::T3c, hw(1, 0, 4, 0), hw(2, 4, 8, 2)},
+      {ScenarioType::T3d, hw(1, 0, 4, 0), hw(2, 5, 9, 1)},
+      {ScenarioType::T3e, hw(1, 0, 4, 0), vw(2, 4, 2, 6)},
+  };
+}
+
+const char* ruleName(const Classification& c) {
+  const bool fCC = c.overlay[0] >= kHardCost, fCS = c.overlay[1] >= kHardCost;
+  const bool fSC = c.overlay[2] >= kHardCost, fSS = c.overlay[3] >= kHardCost;
+  if (fCC && fSS) return "different (hard)";
+  if (fCS && fSC) return "same (hard)";
+  if (fSS && !fCC && !fCS && !fSC) return "forbid SS";
+  if (fCS && !fCC && !fSC && !fSS) return "forbid CS";
+  if (fSC && !fCC && !fCS && !fSS) return "forbid SC";
+  // Nonhard preferences: pick the assignments with minimum cost.
+  int mn = c.overlay[0];
+  for (int v : c.overlay) mn = std::min(mn, v);
+  if (c.overlay[0] == mn && c.overlay[3] == mn && c.overlay[1] != mn) {
+    return "same";
+  }
+  if (c.overlay[1] == mn && c.overlay[2] == mn && c.overlay[0] != mn) {
+    return "different";
+  }
+  if (c.overlay[3] == mn && c.overlay[0] != mn) return "both second";
+  return "any";
+}
+
+}  // namespace
+
+int main() {
+  const DesignRules rules;
+  std::printf("Table II -- potential overlay scenarios (units of w_line)\n");
+  std::printf("%-6s %-18s %6s %6s   %s\n", "type", "color rule", "minSO",
+              "maxSO", "per-assignment cost CC/CS/SC/SS");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  for (const Witness& w : witnesses()) {
+    const Classification c = classify(w.a, w.b);
+    if (c.type != w.type) {
+      std::printf("WITNESS MISMATCH for %s (got %s)\n", toString(w.type),
+                  toString(c.type));
+      return 1;
+    }
+    int mn = kHardCost, mx = 0;
+    for (int v : c.overlay) {
+      mn = std::min(mn, v);
+      if (v < kHardCost) mx = std::max(mx, v);
+    }
+    char costs[64];
+    std::snprintf(costs, sizeof costs, "%s/%s/%s/%s",
+                  c.overlay[0] >= kHardCost ? "inf" : std::to_string(c.overlay[0]).c_str(),
+                  c.overlay[1] >= kHardCost ? "inf" : std::to_string(c.overlay[1]).c_str(),
+                  c.overlay[2] >= kHardCost ? "inf" : std::to_string(c.overlay[2]).c_str(),
+                  c.overlay[3] >= kHardCost ? "inf" : std::to_string(c.overlay[3]).c_str());
+    std::printf("%-6s %-18s %6d %6d   %s\n", toString(c.type), ruleName(c),
+                mn, mx, costs);
+  }
+
+  // Physical cross-check: under the optimal color rule no scenario may
+  // produce a hard overlay or a cut conflict on the witness layout.
+  std::printf("\nbitmap cross-check (optimal assignment per scenario):\n");
+  bool ok = true;
+  for (const Witness& w : witnesses()) {
+    const Classification c = classify(w.a, w.b);
+    int best = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (c.overlay[i] < c.overlay[best]) best = i;
+    }
+    const Color ca = (best & 2) ? Color::Second : Color::Core;
+    const Color cb = (best & 1) ? Color::Second : Color::Core;
+    std::vector<ColoredFragment> frags{{w.a, ca}, {w.b, cb}};
+    const OverlayReport r = decomposeLayer(frags, rules).report;
+    const bool clean = r.hardOverlays == 0 && r.cutConflicts() == 0;
+    ok &= clean;
+    std::printf("  %-5s %s%s: hard=%d conflicts=%d side=%lldnm  %s\n",
+                toString(c.type), toString(ca), toString(cb), r.hardOverlays,
+                r.cutConflicts(), (long long)r.sideOverlayNm,
+                clean ? "OK" : "VIOLATION");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,341 @@
+#include "color/flipping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "ocg/overlay_model.hpp"
+
+namespace sadp {
+
+namespace {
+
+constexpr std::int64_t kHardWeight = std::int64_t(kHardCost) * 16;
+
+std::int64_t entryCost(const Classification& cls, int idx) {
+  std::int64_t c = cls.overlay[idx];
+  if (cls.cutRisk[idx]) c += OverlayConstraintGraph::kCutRiskPenalty;
+  return c;
+}
+
+}  // namespace
+
+ReducedGraph reduceGraph(const OverlayConstraintGraph& g) {
+  ReducedGraph rg;
+  const std::size_t n = g.vertexCount();
+  rg.classIndexOfVertex.resize(n);
+  rg.parityOfVertex.resize(n);
+
+  // Dense-index the class roots.
+  std::unordered_map<std::uint32_t, std::uint32_t> rootToClass;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto [root, par] = g.hardClassOf(v);
+    auto [it, inserted] =
+        rootToClass.try_emplace(root, std::uint32_t(rootToClass.size()));
+    rg.classIndexOfVertex[v] = it->second;
+    rg.parityOfVertex[v] = par;
+    if (inserted) rg.classColor.push_back(Color::Unassigned);
+  }
+  // Class color = color of any member XOR its parity; read through roots.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const Color c = g.colorOf(g.netOf(v));
+    if (c == Color::Unassigned) continue;
+    const Color rootColor = rg.parityOfVertex[v] ? flippedColor(c) : c;
+    rg.classColor[rg.classIndexOfVertex[v]] = rootColor;
+  }
+
+  // Aggregate cross-class edges per unordered class pair; intra-class
+  // non-hard edges and per-vertex priors contribute per-class self-costs.
+  rg.selfCost.assign(rg.classColor.size(), {0, 0});
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (int c = 0; c < 2; ++c) {
+      const Color vc = rg.parityOfVertex[v]
+                           ? flippedColor(Color(c))
+                           : Color(c);
+      rg.selfCost[rg.classIndexOfVertex[v]][c] += g.priorOf(v, vc);
+    }
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> pairIndex;
+  for (const OcgEdge& e : g.edges()) {
+    if (!e.alive) continue;
+    const std::uint32_t cu = rg.classIndexOfVertex[e.u];
+    const std::uint32_t cv = rg.classIndexOfVertex[e.v];
+    if (cu == cv) {
+      const std::uint8_t pu = rg.parityOfVertex[e.u];
+      const std::uint8_t pv = rg.parityOfVertex[e.v];
+      for (int c = 0; c < 2; ++c) {
+        rg.selfCost[cu][c] += entryCost(e.cls, (c ^ pu) * 2 + (c ^ pv));
+      }
+      continue;
+    }
+    const std::uint8_t pu = rg.parityOfVertex[e.u];
+    const std::uint8_t pv = rg.parityOfVertex[e.v];
+    const bool ordered = cu < cv;
+    const auto key = ordered ? std::make_pair(cu, cv) : std::make_pair(cv, cu);
+    auto [it, inserted] = pairIndex.try_emplace(key, rg.edges.size());
+    if (inserted) {
+      ReducedEdge re;
+      re.u = key.first;
+      re.v = key.second;
+      rg.edges.push_back(re);
+    }
+    ReducedEdge& re = rg.edges[it->second];
+    re.hard |= e.hard();
+    // Fold member parities: class assignment (a, b) on (re.u, re.v) means
+    // vertex colors (a ^ p, b ^ p'); map to the edge's (u, v) order.
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const int au = (ordered ? a : b) ^ pu;  // color index of e.u
+        const int bv = (ordered ? b : a) ^ pv;  // color index of e.v
+        re.cost[a * 2 + b] += entryCost(e.cls, au * 2 + bv);
+      }
+    }
+  }
+  // Edge significance: spread between worst and best finite outcome; hard
+  // edges always dominate (paper: "a constant larger than any cost").
+  for (ReducedEdge& re : rg.edges) {
+    std::int64_t lo = re.cost[0], hi = re.cost[0];
+    for (std::int64_t c : re.cost) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    re.weight = re.hard ? kHardWeight + (hi - lo) : hi - lo;
+  }
+  return rg;
+}
+
+namespace {
+
+/// Plain union-find for component extraction / Kruskal.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t(0));
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::int64_t edgeCostUnder(const ReducedEdge& e, Color cu, Color cv) {
+  if (cu == Color::Unassigned || cv == Color::Unassigned) {
+    std::int64_t best = e.cost[0];
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        if (cu != Color::Unassigned && int(cu) != a) continue;
+        if (cv != Color::Unassigned && int(cv) != b) continue;
+        best = std::min(best, e.cost[a * 2 + b]);
+      }
+    }
+    return best;
+  }
+  return e.cost[int(cu) * 2 + int(cv)];
+}
+
+}  // namespace
+
+std::vector<Color> treeDpAssign(const ReducedGraph& rg,
+                                const std::vector<std::size_t>& treeEdges,
+                                std::size_t rootClass) {
+  std::vector<Color> out(rg.classCount(), Color::Unassigned);
+  // Adjacency over tree edges.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> adj;
+  for (std::size_t ei : treeEdges) {
+    adj[rg.edges[ei].u].push_back(ei);
+    adj[rg.edges[ei].v].push_back(ei);
+  }
+  // Iterative DFS order from the root.
+  struct Visit {
+    std::uint32_t node;
+    std::uint32_t parent;
+    std::size_t parentEdge;
+  };
+  std::vector<Visit> order;
+  std::vector<Visit> stack{{std::uint32_t(rootClass), std::uint32_t(-1), 0}};
+  std::vector<char> seen(rg.classCount(), 0);
+  while (!stack.empty()) {
+    Visit v = stack.back();
+    stack.pop_back();
+    if (seen[v.node]) continue;
+    seen[v.node] = 1;
+    order.push_back(v);
+    for (std::size_t ei : adj[v.node]) {
+      const ReducedEdge& e = rg.edges[ei];
+      const std::uint32_t next = (e.u == v.node) ? e.v : e.u;
+      if (!seen[next]) stack.push_back({next, v.node, ei});
+    }
+  }
+  // Bottom-up DP, eq. (4): cost[node][c] = selfCost[node][c] + sum over
+  // children of min_p (cost[child][p] + edgeCost(c, p)).
+  std::vector<std::array<std::int64_t, 2>> cost = rg.selfCost;
+  cost.resize(rg.classCount(), {0, 0});
+  std::vector<std::array<Color, 2>> childChoice;  // filled per child below
+  // childBest[childNode][parentColor] = chosen child color
+  std::vector<std::array<Color, 2>> childBest(
+      rg.classCount(), {Color::Unassigned, Color::Unassigned});
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Visit& v = *it;
+    if (v.parent == std::uint32_t(-1)) continue;
+    const ReducedEdge& e = rg.edges[v.parentEdge];
+    for (int pc = 0; pc < 2; ++pc) {
+      std::int64_t best = -1;
+      Color bestColor = Color::Core;
+      for (int cc = 0; cc < 2; ++cc) {
+        // Edge cost with the parent's color on the parent endpoint.
+        const bool parentIsU = (e.u == v.parent);
+        const int idx = parentIsU ? pc * 2 + cc : cc * 2 + pc;
+        const std::int64_t total = cost[v.node][cc] + e.cost[idx];
+        if (best < 0 || total < best) {
+          best = total;
+          bestColor = Color(cc);
+        }
+      }
+      cost[v.parent][pc] += best;
+      childBest[v.node][pc] = bestColor;
+    }
+  }
+  (void)childChoice;
+  // Backtrace from the root.
+  const int rootColor = cost[rootClass][0] <= cost[rootClass][1] ? 0 : 1;
+  out[rootClass] = Color(rootColor);
+  for (const Visit& v : order) {
+    if (v.parent == std::uint32_t(-1)) continue;
+    const Color pc = out[v.parent];
+    assert(pc != Color::Unassigned);
+    out[v.node] = childBest[v.node][int(pc)];
+  }
+  return out;
+}
+
+FlipStats colorFlip(OverlayConstraintGraph& g) {
+  FlipStats stats;
+  ReducedGraph rg = reduceGraph(g);
+  if (rg.classCount() == 0) return stats;
+
+  // Components over all reduced edges.
+  Dsu comp(rg.classCount());
+  for (const ReducedEdge& e : rg.edges) comp.unite(e.u, e.v);
+  std::unordered_map<std::size_t, std::vector<std::size_t>> edgesOfComp;
+  for (std::size_t ei = 0; ei < rg.edges.size(); ++ei) {
+    edgesOfComp[comp.find(rg.edges[ei].u)].push_back(ei);
+  }
+
+  std::vector<Color> newColors = rg.classColor;  // start from current
+  for (auto& [root, compEdges] : edgesOfComp) {
+    ++stats.components;
+    // Cost of the component under the current coloring. A component with
+    // uncolored classes has no meaningful "before": always take the DP.
+    std::int64_t before = 0;
+    bool anyUncolored = false;
+    std::vector<std::uint32_t> compClasses;
+    for (std::size_t ei : compEdges) {
+      const ReducedEdge& e = rg.edges[ei];
+      anyUncolored |= rg.classColor[e.u] == Color::Unassigned ||
+                      rg.classColor[e.v] == Color::Unassigned;
+      before += edgeCostUnder(e, rg.classColor[e.u], rg.classColor[e.v]);
+      compClasses.push_back(e.u);
+      compClasses.push_back(e.v);
+    }
+    std::sort(compClasses.begin(), compClasses.end());
+    compClasses.erase(std::unique(compClasses.begin(), compClasses.end()),
+                      compClasses.end());
+    auto selfCostUnder = [&](std::uint32_t c, Color col) {
+      if (col == Color::Unassigned) {
+        return std::min(rg.selfCost[c][0], rg.selfCost[c][1]);
+      }
+      return rg.selfCost[c][int(col)];
+    };
+    for (std::uint32_t c : compClasses) {
+      before += selfCostUnder(c, rg.classColor[c]);
+    }
+    stats.costBefore += before;
+
+    // Maximum spanning tree (Kruskal on descending weight).
+    std::vector<std::size_t> sorted = compEdges;
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return rg.edges[a].weight > rg.edges[b].weight;
+    });
+    Dsu mst(rg.classCount());
+    std::vector<std::size_t> treeEdges;
+    for (std::size_t ei : sorted) {
+      if (mst.unite(rg.edges[ei].u, rg.edges[ei].v)) treeEdges.push_back(ei);
+    }
+
+    std::vector<Color> dp = treeDpAssign(rg, treeEdges, root);
+    // True component cost under the DP coloring (non-tree edges included).
+    std::int64_t after = 0;
+    for (std::size_t ei : compEdges) {
+      const ReducedEdge& e = rg.edges[ei];
+      after += edgeCostUnder(e, dp[e.u], dp[e.v]);
+    }
+    for (std::uint32_t c : compClasses) after += selfCostUnder(c, dp[c]);
+    if (after <= before || anyUncolored) {
+      bool changed = false;
+      for (std::size_t c = 0; c < rg.classCount(); ++c) {
+        if (dp[c] != Color::Unassigned && dp[c] != newColors[c]) {
+          changed = true;
+        }
+        if (dp[c] != Color::Unassigned) newColors[c] = dp[c];
+      }
+      stats.costAfter += after;
+      if (changed && after < before) ++stats.componentsImproved;
+    } else {
+      stats.costAfter += before;
+    }
+  }
+
+  // Classes untouched by any reduced edge (isolated or intra-only) are
+  // optimized directly by their self-cost (ties keep the current color).
+  std::vector<char> inComponent(rg.classCount(), 0);
+  for (const ReducedEdge& e : rg.edges) {
+    inComponent[e.u] = 1;
+    inComponent[e.v] = 1;
+  }
+  for (std::size_t c = 0; c < rg.classCount(); ++c) {
+    if (inComponent[c]) continue;
+    const std::int64_t coreCost = rg.selfCost[c][0];
+    const std::int64_t secondCost = rg.selfCost[c][1];
+    if (newColors[c] == Color::Unassigned || coreCost != secondCost) {
+      newColors[c] = coreCost <= secondCost ? Color::Core : Color::Second;
+    }
+  }
+
+  // Push class colors back to per-vertex colors.
+  std::vector<Color> vertexColors(g.vertexCount(), Color::Unassigned);
+  for (std::uint32_t v = 0; v < g.vertexCount(); ++v) {
+    const Color cc = newColors[rg.classIndexOfVertex[v]];
+    if (cc == Color::Unassigned) continue;
+    vertexColors[v] = rg.parityOfVertex[v] ? flippedColor(cc) : cc;
+  }
+  g.applyColors(vertexColors);
+  return stats;
+}
+
+FlipStats colorFlipAll(OverlayModel& model) {
+  FlipStats total;
+  for (int layer = 0; layer < model.layers(); ++layer) {
+    const FlipStats s = colorFlip(model.graph(layer));
+    total.costBefore += s.costBefore;
+    total.costAfter += s.costAfter;
+    total.components += s.components;
+    total.componentsImproved += s.componentsImproved;
+  }
+  return total;
+}
+
+}  // namespace sadp

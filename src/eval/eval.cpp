@@ -1,0 +1,151 @@
+#include "eval/eval.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace sadp {
+
+ExperimentRow runProposed(const BenchmarkSpec& spec) {
+  BenchmarkInstance inst = makeBenchmark(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  OverlayAwareRouter router(inst.grid, inst.netlist);
+  const RoutingStats stats = router.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const OverlayReport phys = router.physicalReport();
+
+  ExperimentRow row;
+  row.circuit = spec.name;
+  row.router = "ours";
+  row.nets = int(inst.netlist.size());
+  row.routability = stats.routability();
+  // Residual forbidden assignments (already counted as physical hard
+  // overlays) are removed from the unit metric; they are kHardCost each.
+  row.overlayUnits = router.model().totalOverlayUnits() % kHardCost;
+  row.overlayNm = phys.sideOverlayNm;
+  row.conflicts = phys.cutConflicts();
+  row.hardOverlays = phys.hardOverlays;
+  row.cpuSeconds = secs;
+  return row;
+}
+
+ExperimentRow runBaselineRow(BaselineKind kind, const BenchmarkSpec& spec,
+                             double timeoutSeconds) {
+  BenchmarkInstance inst = makeBenchmark(spec);
+  const BaselineResult res =
+      runBaseline(kind, inst.grid, inst.netlist, timeoutSeconds);
+
+  ExperimentRow row;
+  row.circuit = spec.name;
+  row.router = toString(kind);
+  row.nets = int(inst.netlist.size());
+  row.routability = res.stats.routability();
+  row.overlayUnits = res.overlayUnits % kHardCost;
+  row.overlayNm = res.physical.sideOverlayNm;
+  row.conflicts = res.conflicts;
+  row.hardOverlays = res.physical.hardOverlays;
+  row.cpuSeconds = res.seconds;
+  row.na = res.timedOut;
+  return row;
+}
+
+void printComparisonTable(std::ostream& os,
+                          const std::vector<ExperimentRow>& rows,
+                          const std::string& reference) {
+  os << std::left << std::setw(9) << "circuit" << std::setw(13) << "router"
+     << std::right << std::setw(7) << "#nets" << std::setw(9) << "rout%"
+     << std::setw(12) << "ovl(units)" << std::setw(11) << "ovl(nm)"
+     << std::setw(7) << "#C" << std::setw(7) << "hard" << std::setw(10)
+     << "CPU(s)" << "\n";
+  os << std::string(85, '-') << "\n";
+  for (const ExperimentRow& r : rows) {
+    os << std::left << std::setw(9) << r.circuit << std::setw(13) << r.router
+       << std::right << std::setw(7) << r.nets;
+    if (r.na) {
+      os << std::setw(9) << "NA" << std::setw(12) << "NA" << std::setw(11)
+         << "NA" << std::setw(7) << "NA" << std::setw(7) << "NA"
+         << std::setw(10) << std::fixed << std::setprecision(1)
+         << r.cpuSeconds << "\n";
+      continue;
+    }
+    os << std::setw(9) << std::fixed << std::setprecision(2) << r.routability
+       << std::setw(12) << r.overlayUnits << std::setw(11) << r.overlayNm
+       << std::setw(7) << r.conflicts << std::setw(7) << r.hardOverlays
+       << std::setw(10) << std::setprecision(2) << r.cpuSeconds << "\n";
+  }
+
+  // Normalized comparison ("Comp." row): geometric mean of each router's
+  // metrics over the reference router, matched per circuit.
+  std::map<std::string, const ExperimentRow*> ref;
+  for (const ExperimentRow& r : rows) {
+    if (r.router == reference && !r.na) ref[r.circuit] = &r;
+  }
+  std::map<std::string, std::array<double, 4>> logSums;  // rout, ovl, C, cpu
+  std::map<std::string, int> counts;
+  for (const ExperimentRow& r : rows) {
+    if (r.na) continue;
+    auto it = ref.find(r.circuit);
+    if (it == ref.end()) continue;
+    const ExperimentRow& b = *it->second;
+    auto ratio = [](double x, double y) {
+      if (y <= 0.0) return 1.0;
+      return std::max(x, 1e-9) / y;
+    };
+    auto& s = logSums[r.router];
+    s[0] += std::log(ratio(r.routability, b.routability));
+    s[1] += std::log(ratio(double(r.overlayNm), double(b.overlayNm)));
+    s[2] += std::log(ratio(double(r.conflicts) + 1.0,
+                           double(b.conflicts) + 1.0));
+    s[3] += std::log(ratio(r.cpuSeconds, b.cpuSeconds));
+    ++counts[r.router];
+  }
+  os << std::string(85, '-') << "\n";
+  for (const auto& [router, s] : logSums) {
+    const int n = counts[router];
+    if (n == 0) continue;
+    os << std::left << std::setw(9) << "Comp." << std::setw(13) << router
+       << std::right << std::setw(7) << "" << std::setw(9) << std::fixed
+       << std::setprecision(3) << std::exp(s[0] / n) << std::setw(12)
+       << std::exp(s[1] / n) << std::setw(11) << "" << std::setw(7)
+       << std::setprecision(2) << std::exp(s[2] / n) << std::setw(7) << ""
+       << std::setw(10) << std::exp(s[3] / n) << "\n";
+  }
+}
+
+std::optional<double> runtimeExponent(
+    const std::vector<ExperimentRow>& rows) {
+  // Least squares on (log n, log t).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const ExperimentRow& r : rows) {
+    if (r.na || r.nets <= 0 || r.cpuSeconds <= 0.0) continue;
+    const double x = std::log(double(r.nets));
+    const double y = std::log(r.cpuSeconds);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return std::nullopt;
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return std::nullopt;
+  return (n * sxy - sx * sy) / denom;
+}
+
+void writeCsv(std::ostream& os, const std::vector<ExperimentRow>& rows) {
+  os << "circuit,router,nets,routability,overlay_units,overlay_nm,"
+        "conflicts,hard_overlays,cpu_seconds,na\n";
+  for (const ExperimentRow& r : rows) {
+    os << r.circuit << ',' << r.router << ',' << r.nets << ','
+       << r.routability << ',' << r.overlayUnits << ',' << r.overlayNm << ','
+       << r.conflicts << ',' << r.hardOverlays << ',' << r.cpuSeconds << ','
+       << (r.na ? 1 : 0) << "\n";
+  }
+}
+
+}  // namespace sadp

@@ -1,0 +1,188 @@
+#include "geom/geom.hpp"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace sadp {
+
+const char* toString(Orient o) {
+  return o == Orient::Horizontal ? "H" : "V";
+}
+
+std::ostream& operator<<(std::ostream& os, const Pt& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.xlo << "," << r.ylo << " .. " << r.xhi << "," << r.yhi
+            << ")";
+}
+
+std::string toString(const Rect& r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+std::vector<Interval> mergeIntervals(std::vector<Interval> v) {
+  std::erase_if(v, [](const Interval& i) { return i.empty(); });
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+  });
+  std::vector<Interval> out;
+  for (const Interval& i : v) {
+    if (!out.empty() && i.lo <= out.back().hi + 1) {
+      out.back().hi = std::max(out.back().hi, i.hi);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Sweep-line decomposition of a rect union into y-slabs of disjoint x-runs.
+struct Slab {
+  Nm ylo, yhi;
+  std::vector<std::pair<Nm, Nm>> runs;  // disjoint sorted x runs
+};
+
+std::vector<Slab> sweep(std::span<const Rect> rects) {
+  std::vector<Nm> ys;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  std::vector<Slab> slabs;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Nm ylo = ys[i], yhi = ys[i + 1];
+    std::vector<std::pair<Nm, Nm>> runs;
+    for (const Rect& r : rects) {
+      if (r.empty() || r.ylo > ylo || r.yhi < yhi) continue;
+      runs.emplace_back(r.xlo, r.xhi);
+    }
+    if (runs.empty()) continue;
+    std::sort(runs.begin(), runs.end());
+    std::vector<std::pair<Nm, Nm>> merged;
+    for (const auto& run : runs) {
+      if (!merged.empty() && run.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, run.second);
+      } else {
+        merged.push_back(run);
+      }
+    }
+    slabs.push_back({ylo, yhi, std::move(merged)});
+  }
+  return slabs;
+}
+
+}  // namespace
+
+std::vector<Rect> canonicalize(std::span<const Rect> rects) {
+  std::vector<Slab> slabs = sweep(rects);
+  // Vertically merge slabs with identical runs to keep the output compact.
+  std::vector<Rect> out;
+  for (std::size_t i = 0; i < slabs.size(); ++i) {
+    // Try to extend slab i downward through identical successors.
+    std::size_t j = i;
+    while (j + 1 < slabs.size() && slabs[j + 1].ylo == slabs[j].yhi &&
+           slabs[j + 1].runs == slabs[i].runs) {
+      ++j;
+    }
+    for (const auto& [xlo, xhi] : slabs[i].runs) {
+      out.push_back({xlo, slabs[i].ylo, xhi, slabs[j].yhi});
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::int64_t regionArea(std::span<const Rect> rects) {
+  std::int64_t total = 0;
+  for (const Slab& s : sweep(rects)) {
+    std::int64_t w = 0;
+    for (const auto& [xlo, xhi] : s.runs) w += xhi - xlo;
+    total += w * (s.yhi - s.ylo);
+  }
+  return total;
+}
+
+bool regionContains(std::span<const Rect> rects, const Pt& p) {
+  for (const Rect& r : rects) {
+    if (r.contains(p)) return true;
+  }
+  return false;
+}
+
+void SpatialHash::forEachBucket(
+    const Rect& r, const std::function<void(BucketKey)>& fn) const {
+  const std::int64_t bx0 = std::int64_t(r.xlo) / pitch_ - (r.xlo < 0 ? 1 : 0);
+  const std::int64_t by0 = std::int64_t(r.ylo) / pitch_ - (r.ylo < 0 ? 1 : 0);
+  const std::int64_t bx1 = std::int64_t(r.xhi - 1) / pitch_ + (r.xhi <= 0 ? -1 : 0);
+  const std::int64_t by1 = std::int64_t(r.yhi - 1) / pitch_ + (r.yhi <= 0 ? -1 : 0);
+  for (std::int64_t bx = bx0; bx <= bx1; ++bx) {
+    for (std::int64_t by = by0; by <= by1; ++by) {
+      fn(key(bx, by));
+    }
+  }
+}
+
+void SpatialHash::insert(const Rect& r, std::uint32_t id) {
+  if (r.empty()) return;
+  forEachBucket(r, [&](BucketKey k) { buckets_[k].push_back({r, id}); });
+  ++count_;
+}
+
+bool SpatialHash::erase(const Rect& r, std::uint32_t id) {
+  if (r.empty()) return false;
+  bool found = false;
+  forEachBucket(r, [&](BucketKey k) {
+    auto it = buckets_.find(k);
+    if (it == buckets_.end()) return;
+    auto& vec = it->second;
+    for (auto e = vec.begin(); e != vec.end(); ++e) {
+      if (e->id == id && e->r == r) {
+        vec.erase(e);
+        found = true;
+        break;
+      }
+    }
+    if (vec.empty()) buckets_.erase(it);
+  });
+  if (found) --count_;
+  return found;
+}
+
+void SpatialHash::query(
+    const Rect& window,
+    const std::function<void(const Rect&, std::uint32_t)>& fn) const {
+  if (window.empty()) return;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  forEachBucket(window, [&](BucketKey k) {
+    auto it = buckets_.find(k);
+    if (it == buckets_.end()) return;
+    for (const Entry& e : it->second) {
+      if (!e.r.overlaps(window)) continue;
+      // Dedup on (id, rect origin) — an entry spans several buckets.
+      auto tag = std::make_pair(
+          std::uint64_t(e.id),
+          (std::uint64_t(std::uint32_t(e.r.xlo)) << 32) |
+              std::uint32_t(e.r.ylo));
+      if (!seen.insert(tag).second) continue;
+      fn(e.r, e.id);
+    }
+  });
+}
+
+void SpatialHash::clear() {
+  buckets_.clear();
+  count_ = 0;
+}
+
+}  // namespace sadp

@@ -1,0 +1,60 @@
+// SADP cut-process design rules (paper §II-B, eqs. (1)-(3)).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "geom/geom.hpp"
+
+namespace sadp {
+
+/// The manufacturing rule set for one metal layer under the SADP cut
+/// process. All values in nanometres. The paper's 10 nm-node instance is
+/// the default (w_line = w_spacer = w_cut = w_core = 20, d_cut = d_core = 30).
+struct DesignRules {
+  Nm wLine = 20;     ///< minimum metal line width
+  Nm wSpacer = 20;   ///< spacer width == minimum metal spacing
+  Nm wCut = 20;      ///< minimum cut-pattern width
+  Nm wCore = 20;     ///< minimum core-pattern width
+  Nm dCut = 30;      ///< minimum cut-to-cut spacing (over a target pattern)
+  Nm dCore = 30;     ///< minimum core-to-core spacing
+  Nm dOverlap = 5;   ///< cut-over-spacer overlap length
+
+  /// Routing track pitch: one line plus one spacer.
+  constexpr Nm pitch() const { return wLine + wSpacer; }
+
+  /// Independence distance of Theorem 1: sqrt(2) * (w_line + 2*w_spacer).
+  /// Two patterns at or beyond this distance never constrain each other.
+  /// Returned squared so everything stays in exact integer arithmetic.
+  constexpr std::int64_t dIndepSq() const {
+    const std::int64_t s = wLine + 2ll * wSpacer;
+    return 2 * s * s;
+  }
+
+  /// Validates the constraints the paper assumes, eqs. (1)-(3):
+  ///   (1) w_line == w_spacer
+  ///   (2) w_cut == w_core < d_cut == d_core
+  ///   (3) d_core < w_line + 2*w_spacer - 2*d_overlap
+  /// Throws std::invalid_argument with a description on violation.
+  void validate() const {
+    auto fail = [](const std::string& msg) {
+      throw std::invalid_argument("DesignRules: " + msg);
+    };
+    if (wLine <= 0 || wSpacer <= 0 || wCut <= 0 || wCore <= 0 || dCut <= 0 ||
+        dCore <= 0 || dOverlap < 0) {
+      fail("all rule values must be positive (dOverlap >= 0)");
+    }
+    if (wLine != wSpacer) fail("eq.(1) requires w_line == w_spacer");
+    if (wCut != wCore) fail("eq.(2) requires w_cut == w_core");
+    if (dCut != dCore) fail("eq.(2) requires d_cut == d_core");
+    if (!(wCut < dCut)) fail("eq.(2) requires w_cut < d_cut");
+    if (!(dCore < wLine + 2 * wSpacer - 2 * dOverlap)) {
+      fail("eq.(3) requires d_core < w_line + 2*w_spacer - 2*d_overlap");
+    }
+  }
+
+  friend constexpr bool operator==(const DesignRules&,
+                                   const DesignRules&) = default;
+};
+
+}  // namespace sadp

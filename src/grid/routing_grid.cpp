@@ -1,0 +1,64 @@
+#include "grid/routing_grid.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sadp {
+
+std::ostream& operator<<(std::ostream& os, const GridNode& n) {
+  return os << "(" << n.x << "," << n.y << ",L" << n.layer << ")";
+}
+
+RoutingGrid::RoutingGrid(Track width, Track height, int layers,
+                         DesignRules rules)
+    : width_(width), height_(height), layers_(layers), rules_(rules) {
+  if (width <= 0 || height <= 0 || layers <= 0) {
+    throw std::invalid_argument("RoutingGrid: non-positive dimensions");
+  }
+  rules_.validate();
+  occ_.assign(nodeCount(), kInvalidNet);
+}
+
+void RoutingGrid::occupy(const GridNode& n, NetId net) {
+  NetId& slot = occ_[index(n)];
+  if (slot != kInvalidNet && slot != net) {
+    throw std::logic_error("RoutingGrid::occupy: node already taken");
+  }
+  slot = net;
+}
+
+void RoutingGrid::release(const GridNode& n, NetId net) {
+  NetId& slot = occ_[index(n)];
+  if (slot == net) slot = kInvalidNet;
+}
+
+void RoutingGrid::blockBox(int layer, Track xlo, Track ylo, Track xhi,
+                           Track yhi) {
+  for (Track y = std::max<Track>(0, ylo); y < std::min(height_, yhi); ++y) {
+    for (Track x = std::max<Track>(0, xlo); x < std::min(width_, xhi); ++x) {
+      block({x, y, std::int16_t(layer)});
+    }
+  }
+}
+
+Rect RoutingGrid::segmentMetalNm(const GridNode& a, const GridNode& b) const {
+  if (a.layer != b.layer) {
+    throw std::invalid_argument("segmentMetalNm: nodes on different layers");
+  }
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  if (dx + dy != 1) {
+    throw std::invalid_argument("segmentMetalNm: nodes not adjacent");
+  }
+  return nodeMetalNm(a).unionWith(nodeMetalNm(b));
+}
+
+std::size_t RoutingGrid::occupiedCount() const {
+  std::size_t n = 0;
+  for (NetId id : occ_) {
+    if (id >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace sadp

@@ -1,0 +1,118 @@
+#include "netlist/netlist.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sadp {
+
+Net& Netlist::add(std::string name, Pin source, Pin target) {
+  if (source.candidates.empty() || target.candidates.empty()) {
+    throw std::invalid_argument("Netlist::add: pin with no candidates");
+  }
+  Net n;
+  n.id = NetId(nets.size());
+  n.name = std::move(name);
+  n.source = std::move(source);
+  n.target = std::move(target);
+  nets.push_back(std::move(n));
+  return nets.back();
+}
+
+Net& Netlist::addMultiPin(std::string name, std::vector<Pin> pins) {
+  if (pins.size() < 2) {
+    throw std::invalid_argument("Netlist::addMultiPin: needs >= 2 pins");
+  }
+  for (const Pin& p : pins) {
+    if (p.candidates.empty()) {
+      throw std::invalid_argument("Netlist::addMultiPin: empty pin");
+    }
+  }
+  Net& n = add(std::move(name), std::move(pins[0]), std::move(pins[1]));
+  n.taps.assign(std::make_move_iterator(pins.begin() + 2),
+                std::make_move_iterator(pins.end()));
+  return n;
+}
+
+namespace {
+
+void writePin(std::ostream& os, const Pin& p) {
+  for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+    const GridNode& c = p.candidates[i];
+    if (i) os << ';';
+    os << c.x << ',' << c.y << ',' << c.layer;
+  }
+}
+
+Pin parsePin(const std::string& field) {
+  Pin p;
+  std::istringstream ss(field);
+  std::string cand;
+  while (std::getline(ss, cand, ';')) {
+    GridNode n;
+    char c1 = 0, c2 = 0;
+    std::istringstream cs(cand);
+    int layer = 0;
+    if (!(cs >> n.x >> c1 >> n.y >> c2 >> layer) || c1 != ',' || c2 != ',') {
+      throw std::runtime_error("readNetlist: malformed pin candidate '" +
+                               cand + "'");
+    }
+    n.layer = std::int16_t(layer);
+    p.candidates.push_back(n);
+  }
+  if (p.candidates.empty()) {
+    throw std::runtime_error("readNetlist: empty pin field");
+  }
+  return p;
+}
+
+}  // namespace
+
+void writeNetlist(std::ostream& os, const Netlist& nl) {
+  os << "sadp-netlist v2 " << nl.nets.size() << "\n";
+  for (const Net& n : nl.nets) {
+    os << n.name << ' ' << n.pinCount() << ' ';
+    writePin(os, n.source);
+    os << ' ';
+    writePin(os, n.target);
+    for (const Pin& p : n.taps) {
+      os << ' ';
+      writePin(os, p);
+    }
+    os << "\n";
+  }
+}
+
+Netlist readNetlist(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "sadp-netlist" ||
+      (version != "v1" && version != "v2")) {
+    throw std::runtime_error("readNetlist: bad header");
+  }
+  Netlist nl;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    std::size_t pins = 2;
+    if (!(is >> name)) {
+      throw std::runtime_error("readNetlist: truncated net record");
+    }
+    if (version == "v2" && !(is >> pins)) {
+      throw std::runtime_error("readNetlist: missing pin count");
+    }
+    if (pins < 2) throw std::runtime_error("readNetlist: net with < 2 pins");
+    std::vector<Pin> parsed;
+    for (std::size_t p = 0; p < pins; ++p) {
+      std::string field;
+      if (!(is >> field)) {
+        throw std::runtime_error("readNetlist: truncated net record");
+      }
+      parsed.push_back(parsePin(field));
+    }
+    nl.addMultiPin(std::move(name), std::move(parsed));
+  }
+  return nl;
+}
+
+}  // namespace sadp

@@ -1,0 +1,55 @@
+// Netlist model: two-pin nets over the routing grid, with optional multiple
+// pin candidate locations (paper §IV: benchmark set 2 fixes pin locations,
+// set 1 gives every pin multiple candidates, as in Du et al. [10]).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+
+namespace sadp {
+
+/// A pin with one or more candidate grid locations; the router commits to
+/// exactly one candidate when the net is routed.
+struct Pin {
+  std::vector<GridNode> candidates;
+
+  bool fixed() const { return candidates.size() == 1; }
+};
+
+/// A net: two mandatory pins (source/target) plus optional extra taps for
+/// multi-pin nets (routed as a sequential Steiner tree). `id` indexes into
+/// Netlist::nets.
+struct Net {
+  NetId id = kInvalidNet;
+  std::string name;
+  Pin source;
+  Pin target;
+  std::vector<Pin> taps;  ///< additional pins beyond the first two
+
+  std::size_t pinCount() const { return 2 + taps.size(); }
+};
+
+/// The routing problem's net collection.
+struct Netlist {
+  std::vector<Net> nets;
+
+  Net& add(std::string name, Pin source, Pin target);
+  /// Multi-pin form: pins.size() >= 2; the first two become source/target,
+  /// the rest taps.
+  Net& addMultiPin(std::string name, std::vector<Pin> pins);
+  std::size_t size() const { return nets.size(); }
+};
+
+/// Serializes a netlist to a plain-text stream ("sadp-netlist v2": one net
+/// per line: name, pin count, then each pin as a ';'-separated candidate
+/// list of x,y,layer).
+void writeNetlist(std::ostream& os, const Netlist& nl);
+
+/// Parses the v2 format (and the legacy two-pin v1). Throws
+/// std::runtime_error on malformed input.
+Netlist readNetlist(std::istream& is);
+
+}  // namespace sadp

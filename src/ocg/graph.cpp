@@ -1,0 +1,410 @@
+#include "ocg/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace sadp {
+
+void ParityDsu::ensure(std::size_t v) {
+  while (parent_.size() <= v) {
+    parent_.push_back(parent_.size());
+    parity_.push_back(0);
+    rank_.push_back(0);
+  }
+}
+
+std::pair<std::size_t, std::uint8_t> ParityDsu::find(std::size_t v) {
+  ensure(v);
+  // Iterative find with full path compression, accumulating parity.
+  std::size_t root = v;
+  std::uint8_t par = 0;
+  while (parent_[root] != root) {
+    par ^= parity_[root];
+    root = parent_[root];
+  }
+  // Second pass: compress.
+  std::size_t cur = v;
+  std::uint8_t curPar = 0;
+  while (parent_[cur] != cur) {
+    const std::size_t next = parent_[cur];
+    const std::uint8_t nextPar = std::uint8_t(curPar ^ parity_[cur]);
+    parent_[cur] = root;
+    parity_[cur] = std::uint8_t(par ^ curPar);
+    curPar = nextPar;
+    cur = next;
+  }
+  return {root, par};
+}
+
+bool ParityDsu::unite(std::size_t u, std::size_t v, std::uint8_t rel) {
+  auto [ru, pu] = find(u);
+  auto [rv, pv] = find(v);
+  if (ru == rv) return std::uint8_t(pu ^ pv) == rel;
+  if (rank_[ru] < rank_[rv]) {
+    std::swap(ru, rv);
+    std::swap(pu, pv);
+  }
+  parent_[rv] = ru;
+  parity_[rv] = std::uint8_t(pu ^ pv ^ rel);
+  if (rank_[ru] == rank_[rv]) ++rank_[ru];
+  return true;
+}
+
+bool ParityDsu::contradicts(std::size_t u, std::size_t v, std::uint8_t rel) {
+  auto [ru, pu] = find(u);
+  auto [rv, pv] = find(v);
+  return ru == rv && std::uint8_t(pu ^ pv) != rel;
+}
+
+void ParityDsu::clear() {
+  parent_.clear();
+  parity_.clear();
+  rank_.clear();
+}
+
+namespace {
+
+/// Whether a hard classification is parity-expressible, and if so which
+/// relative parity it enforces: {CC, SS} forbidden => colors must differ
+/// (rel 1, type 1-a); {CS, SC} forbidden => same color (rel 0, type 1-b).
+/// Single-assignment bans (Fig. 11(f) style) are NOT parity constraints and
+/// are enforced through coloring costs instead.
+std::optional<std::uint8_t> hardParity(const Classification& cls) {
+  bool f[4];
+  for (int i = 0; i < 4; ++i) f[i] = cls.overlay[i] >= kHardCost;
+  if (f[0] && f[3] && !f[1] && !f[2]) return std::uint8_t(1);
+  if (f[1] && f[2] && !f[0] && !f[3]) return std::uint8_t(0);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::uint32_t OverlayConstraintGraph::vertexFor(NetId net) {
+  auto it = idx_.find(net);
+  if (it != idx_.end()) return it->second;
+  const std::uint32_t v = std::uint32_t(nets_.size());
+  nets_.push_back(net);
+  adj_.emplace_back();
+  idx_.emplace(net, v);
+  hard_.ensure(v);
+  classMembers_[v] = {v};
+  return v;
+}
+
+std::int64_t OverlayConstraintGraph::findVertex(NetId net) const {
+  auto it = idx_.find(net);
+  return it == idx_.end() ? -1 : std::int64_t(it->second);
+}
+
+bool OverlayConstraintGraph::addScenario(NetId a, NetId b,
+                                         const Classification& cls) {
+  if (!cls.material()) return true;
+  const std::uint32_t u = vertexFor(a);
+  const std::uint32_t v = vertexFor(b);
+  OcgEdge e;
+  e.u = u;
+  e.v = v;
+  e.cls = cls;
+  const std::size_t ei = edges_.size();
+  edges_.push_back(e);
+  adj_[u].push_back(std::uint32_t(ei));
+  adj_[v].push_back(std::uint32_t(ei));
+  if (!cls.hard()) return true;
+  const std::optional<std::uint8_t> relOpt = hardParity(cls);
+  if (!relOpt) return true;  // single-assignment ban: cost-enforced only
+  const std::uint8_t rel = *relOpt;
+  auto [ru, pu] = hard_.find(u);
+  auto [rv, pv] = hard_.find(v);
+  // Colors of merged classes are reconciled lazily: classColorOf() reads
+  // through the root, and pseudoColor()/flipping rewrite class colors.
+  if (!hard_.unite(u, v, rel)) {
+    ++hardViolations_;
+    return false;
+  }
+  if (ru != rv) {
+    auto [newRoot, np] = hard_.find(u);
+    const std::uint32_t winner = std::uint32_t(newRoot);
+    const std::uint32_t loser = (winner == ru) ? std::uint32_t(rv)
+                                               : std::uint32_t(ru);
+    auto& win = classMembers_[winner];
+    auto& lose = classMembers_[loser];
+    win.insert(win.end(), lose.begin(), lose.end());
+    classMembers_.erase(loser);
+    (void)np;
+  }
+  return true;
+}
+
+void OverlayConstraintGraph::removeNet(NetId net) {
+  auto it = idx_.find(net);
+  if (it == idx_.end()) return;
+  const std::uint32_t v = it->second;
+  bool removedHard = false;
+  for (std::uint32_t ei : adj_[v]) {
+    OcgEdge& e = edges_[ei];
+    if (!e.alive) continue;
+    e.alive = false;
+    removedHard |= e.hard();
+    const std::uint32_t other = (e.u == v) ? e.v : e.u;
+    auto& oadj = adj_[other];
+    oadj.erase(std::remove(oadj.begin(), oadj.end(), ei), oadj.end());
+  }
+  adj_[v].clear();
+  if (removedHard) {
+    // The rebuild re-roots every class and transfers colors through the
+    // snapshot, so the removed vertex's (possibly root) entry is handled.
+    rebuildHardStructure();
+  } else {
+    // Without hard edges the vertex is a singleton class; dropping its
+    // color entry cannot affect anyone else.
+    classColor_.erase(v);
+  }
+}
+
+void OverlayConstraintGraph::rebuildHardStructure() {
+  // Preserve vertex colors across the rebuild: the class representative
+  // may change, so snapshot per-vertex colors first.
+  std::vector<Color> snapshot(nets_.size(), Color::Unassigned);
+  for (std::uint32_t v = 0; v < nets_.size(); ++v) {
+    snapshot[v] = classColorOf(v);
+  }
+  hard_.clear();
+  hard_.ensure(nets_.size() == 0 ? 0 : nets_.size() - 1);
+  classColor_.clear();
+  hardViolations_ = 0;
+  for (const OcgEdge& e : edges_) {
+    if (!e.alive || !e.hard()) continue;
+    const std::optional<std::uint8_t> rel = hardParity(e.cls);
+    if (!rel) continue;
+    if (!hard_.unite(e.u, e.v, *rel)) ++hardViolations_;
+  }
+  classMembers_.clear();
+  for (std::uint32_t v = 0; v < nets_.size(); ++v) {
+    auto [root, par] = hard_.find(v);
+    classMembers_[std::uint32_t(root)].push_back(v);
+    (void)par;
+  }
+  for (std::uint32_t v = 0; v < nets_.size(); ++v) {
+    if (snapshot[v] == Color::Unassigned) continue;
+    auto [root, par] = hard_.find(v);
+    const Color rootColor =
+        par ? flippedColor(snapshot[v]) : snapshot[v];
+    classColor_[std::uint32_t(root)] = rootColor;  // last write wins
+  }
+}
+
+Color OverlayConstraintGraph::classColorOf(std::uint32_t vertex) const {
+  auto [root, par] = hard_.find(vertex);
+  auto it = classColor_.find(std::uint32_t(root));
+  if (it == classColor_.end() || it->second == Color::Unassigned) {
+    return Color::Unassigned;
+  }
+  return par ? flippedColor(it->second) : it->second;
+}
+
+Color OverlayConstraintGraph::colorOf(NetId net) const {
+  auto it = idx_.find(net);
+  if (it == idx_.end()) return Color::Unassigned;
+  return classColorOf(it->second);
+}
+
+void OverlayConstraintGraph::setColor(NetId net, Color c) {
+  const std::uint32_t v = vertexFor(net);
+  auto [root, par] = hard_.find(v);
+  classColor_[std::uint32_t(root)] = par ? flippedColor(c) : c;
+}
+
+std::int64_t OverlayConstraintGraph::costOfAssignment(const OcgEdge& e,
+                                                      Color cu,
+                                                      Color cv) const {
+  // Unassigned endpoints take their best case so partially colored layouts
+  // are charged optimistically.
+  std::int64_t best = -1;
+  for (Color a : {Color::Core, Color::Second}) {
+    if (cu != Color::Unassigned && a != cu) continue;
+    for (Color b : {Color::Core, Color::Second}) {
+      if (cv != Color::Unassigned && b != cv) continue;
+      const int i = assignmentIndex(a, b);
+      std::int64_t c = e.cls.overlay[i];
+      if (e.cls.cutRisk[i]) c += kCutRiskPenalty;
+      if (best < 0 || c < best) best = c;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+std::int64_t OverlayConstraintGraph::edgeCost(const OcgEdge& e) const {
+  return costOfAssignment(e, classColorOf(e.u), classColorOf(e.v));
+}
+
+int OverlayConstraintGraph::edgeOverlayUnits(const OcgEdge& e) const {
+  const Color cu = classColorOf(e.u);
+  const Color cv = classColorOf(e.v);
+  if (cu == Color::Unassigned || cv == Color::Unassigned) {
+    return int(std::min<std::int64_t>(costOfAssignment(e, cu, cv), kHardCost));
+  }
+  return e.cls.overlay[assignmentIndex(cu, cv)];
+}
+
+Color OverlayConstraintGraph::pseudoColor(NetId net) {
+  const std::uint32_t v = vertexFor(net);
+  auto [root, par] = hard_.find(v);
+  // Evaluate both root colors for the WHOLE hard class of v: cross-class
+  // edges use the neighbor's current color; intra-class edges (fixed
+  // relative parity) still depend on the root color for asymmetric rules.
+  std::int64_t cost[2] = {0, 0};
+  auto membersIt = classMembers_.find(std::uint32_t(root));
+  const std::vector<std::uint32_t> fallback{v};
+  const std::vector<std::uint32_t>& members =
+      membersIt != classMembers_.end() ? membersIt->second : fallback;
+  for (std::uint32_t w : members) {
+    auto [rw, pw] = hard_.find(w);
+    for (std::uint32_t ei : adj_[w]) {
+      const OcgEdge& e = edges_[ei];
+      if (!e.alive) continue;
+      const std::uint32_t other = (e.u == w) ? e.v : e.u;
+      auto [ro, po] = hard_.find(other);
+      if (ro == root && other < w) continue;  // count intra edges once
+      for (int rc = 0; rc < 2; ++rc) {
+        const Color rootColor = rc == 0 ? Color::Core : Color::Second;
+        const Color wColor = pw ? flippedColor(rootColor) : rootColor;
+        const Color otherColor =
+            (ro == root) ? (po ? flippedColor(rootColor) : rootColor)
+                         : classColorOf(other);
+        const Color cu = (e.u == w) ? wColor : otherColor;
+        const Color cv = (e.u == w) ? otherColor : wColor;
+        cost[rc] += costOfAssignment(e, cu, cv);
+      }
+    }
+  }
+  // Per-vertex priors (added for every member under its implied color).
+  for (std::uint32_t w : members) {
+    auto [rw, pw] = hard_.find(w);
+    (void)rw;
+    for (int rc = 0; rc < 2; ++rc) {
+      const Color rootColor = rc == 0 ? Color::Core : Color::Second;
+      const Color wColor = pw ? flippedColor(rootColor) : rootColor;
+      cost[rc] += priorOf(w, wColor);
+    }
+  }
+  const Color rootColor = cost[0] <= cost[1] ? Color::Core : Color::Second;
+  classColor_[std::uint32_t(root)] = rootColor;
+  return par ? flippedColor(rootColor) : rootColor;
+}
+
+Color OverlayConstraintGraph::firstFitColor(NetId net) {
+  const std::uint32_t v = vertexFor(net);
+  // A hard classmate routed earlier already determines this net's color;
+  // first-fit never revisits fixed decisions.
+  const Color fixed = classColorOf(v);
+  if (fixed != Color::Unassigned) return fixed;
+  for (Color c : {Color::Core, Color::Second}) {
+    setColor(net, c);
+    bool legal = true;
+    forEachEdgeOf(v, [&](std::size_t ei) {
+      const OcgEdge& e = edges_[ei];
+      const Color cu = classColorOf(e.u);
+      const Color cv = classColorOf(e.v);
+      if (cu == Color::Unassigned || cv == Color::Unassigned) return;
+      if (e.cls.overlay[assignmentIndex(cu, cv)] >= kHardCost) legal = false;
+    });
+    if (legal) return c;
+  }
+  setColor(net, Color::Core);  // nothing legal: first-fit falls back
+  return Color::Core;
+}
+
+void OverlayConstraintGraph::setPrior(NetId net, std::int64_t corePrior,
+                                      std::int64_t secondPrior) {
+  const std::uint32_t v = vertexFor(net);
+  if (corePrior == 0 && secondPrior == 0) {
+    priors_.erase(v);
+  } else {
+    priors_[v] = {corePrior, secondPrior};
+  }
+}
+
+std::int64_t OverlayConstraintGraph::priorOf(std::uint32_t vertex,
+                                             Color c) const {
+  auto it = priors_.find(vertex);
+  if (it == priors_.end() || c == Color::Unassigned) return 0;
+  return it->second[int(c)];
+}
+
+std::int64_t OverlayConstraintGraph::totalOverlayUnits() const {
+  std::int64_t total = 0;
+  for (const OcgEdge& e : edges_) {
+    if (e.alive) total += edgeOverlayUnits(e);
+  }
+  return total;
+}
+
+std::int64_t OverlayConstraintGraph::overlayUnitsOfNet(NetId net) const {
+  auto it = idx_.find(net);
+  if (it == idx_.end()) return 0;
+  std::int64_t total = 0;
+  for (std::uint32_t ei : adj_[it->second]) {
+    const OcgEdge& e = edges_[ei];
+    if (e.alive) total += edgeOverlayUnits(e);
+  }
+  return total;
+}
+
+std::int64_t OverlayConstraintGraph::classOverlayUnits(NetId net) const {
+  auto it = idx_.find(net);
+  if (it == idx_.end()) return 0;
+  auto [root, par] = hard_.find(it->second);
+  (void)par;
+  auto membersIt = classMembers_.find(std::uint32_t(root));
+  if (membersIt == classMembers_.end()) return overlayUnitsOfNet(net);
+  std::vector<std::uint32_t> eids;
+  for (std::uint32_t w : membersIt->second) {
+    eids.insert(eids.end(), adj_[w].begin(), adj_[w].end());
+  }
+  std::sort(eids.begin(), eids.end());
+  eids.erase(std::unique(eids.begin(), eids.end()), eids.end());
+  std::int64_t total = 0;
+  for (std::uint32_t ei : eids) {
+    const OcgEdge& e = edges_[ei];
+    if (e.alive) total += edgeOverlayUnits(e);
+  }
+  return total;
+}
+
+int OverlayConstraintGraph::cutRiskCount() const {
+  int n = 0;
+  for (const OcgEdge& e : edges_) {
+    if (!e.alive) continue;
+    const Color cu = classColorOf(e.u);
+    const Color cv = classColorOf(e.v);
+    if (cu == Color::Unassigned || cv == Color::Unassigned) continue;
+    if (e.cls.cutRisk[assignmentIndex(cu, cv)]) ++n;
+  }
+  return n;
+}
+
+void OverlayConstraintGraph::forEachEdgeOf(
+    std::uint32_t vertex, const std::function<void(std::size_t)>& fn) const {
+  for (std::uint32_t ei : adj_[vertex]) {
+    if (edges_[ei].alive) fn(ei);
+  }
+}
+
+std::pair<std::uint32_t, std::uint8_t> OverlayConstraintGraph::hardClassOf(
+    std::uint32_t v) const {
+  auto [root, par] = hard_.find(v);
+  return {std::uint32_t(root), par};
+}
+
+void OverlayConstraintGraph::applyColors(const std::vector<Color>& colors) {
+  assert(colors.size() <= nets_.size());
+  for (std::uint32_t v = 0; v < colors.size(); ++v) {
+    if (colors[v] == Color::Unassigned) continue;
+    auto [root, par] = hard_.find(v);
+    classColor_[std::uint32_t(root)] =
+        par ? flippedColor(colors[v]) : colors[v];
+  }
+}
+
+}  // namespace sadp

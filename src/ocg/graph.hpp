@@ -1,0 +1,167 @@
+// Overlay constraint graph (paper §III-B, Fig. 11).
+//
+// One graph per routing layer (Fig. 17). Vertices are routed nets; each
+// edge carries the per-color-assignment side-overlay cost vector of one
+// detected potential overlay scenario. Hard constraints (types 1-a / 1-b)
+// are additionally tracked in a union-find with parity — the extension of
+// the constant-time LELE odd-cycle detection of [18] — which doubles as the
+// paper's dummy-vertex device and super-vertex (even-cycle) reduction: all
+// vertices of a hard-connected class have mutually fixed relative colors
+// and are colored as a unit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ocg/scenario.hpp"
+
+namespace sadp {
+
+/// Union-find with parity. Each element carries the XOR of edge parities to
+/// its representative; unite(u, v, rel) enforces color(u) ^ color(v) == rel.
+/// A contradiction (odd cycle over hard edges) makes unite return false.
+class ParityDsu {
+ public:
+  /// Ensures element `v` exists.
+  void ensure(std::size_t v);
+  /// Representative of v plus the parity of v relative to it.
+  std::pair<std::size_t, std::uint8_t> find(std::size_t v);
+  /// Merges the classes of u and v with relative parity `rel`.
+  /// Returns false (and leaves the classes merged-consistent only if they
+  /// already were) when the relation contradicts existing constraints.
+  bool unite(std::size_t u, std::size_t v, std::uint8_t rel);
+  /// True if u and v are already constrained to relative parity != `rel`.
+  bool contradicts(std::size_t u, std::size_t v, std::uint8_t rel);
+  void clear();
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> parity_;  // parity to parent
+  std::vector<std::uint32_t> rank_;
+};
+
+/// One scenario edge of the constraint graph. `u`/`v` are vertex handles
+/// (dense indices, not NetIds). The cost array is indexed by
+/// assignmentIndex(color(u), color(v)).
+struct OcgEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  Classification cls;
+  bool alive = true;
+
+  bool hard() const { return cls.hard(); }
+};
+
+/// Per-layer overlay constraint graph.
+class OverlayConstraintGraph {
+ public:
+  /// Finite penalty (units of w_line) charged to color assignments flagged
+  /// as Type-A cut-conflict risks; strong enough to dominate any realistic
+  /// overlay trade-off without making the class unsatisfiable (the bitmap
+  /// cut-conflict checker provides the hard backstop; see DESIGN.md §5.6).
+  static constexpr int kCutRiskPenalty = 50;
+
+  /// Returns (creating if needed) the vertex handle for a net.
+  std::uint32_t vertexFor(NetId net);
+  /// Vertex handle if the net is present, else -1.
+  std::int64_t findVertex(NetId net) const;
+  NetId netOf(std::uint32_t vertex) const { return nets_[vertex]; }
+  std::size_t vertexCount() const { return nets_.size(); }
+
+  /// Adds a scenario edge between two nets. Trivial classifications are
+  /// ignored. Returns false iff the edge is hard and closes an odd cycle of
+  /// hard constraints (a hard-overlay violation): the edge is still
+  /// recorded so removeNet() can undo it, but the graph is flagged.
+  bool addScenario(NetId a, NetId b, const Classification& cls);
+
+  /// Removes every edge incident to a net (rip-up) and rebuilds the hard
+  /// parity structure from the surviving edges.
+  void removeNet(NetId net);
+
+  /// True if some hard odd cycle is currently present.
+  bool hasHardViolation() const { return hardViolations_ > 0; }
+
+  // -- Coloring ------------------------------------------------------------
+
+  Color colorOf(NetId net) const;
+  /// Assigns the color of `net`; the whole hard-connected class moves with
+  /// it so hard constraints stay satisfied by construction.
+  void setColor(NetId net, Color c);
+  bool isColored(NetId net) const { return colorOf(net) != Color::Unassigned; }
+
+  /// Pseudo-coloring (Algorithm 1 line 11): picks the class color for
+  /// `net` minimizing the summed cost of all edges incident to the class,
+  /// counting only edges whose other endpoint is already colored.
+  /// Returns the chosen color.
+  Color pseudoColor(NetId net);
+
+  /// First-fit coloring used by the baseline reconstructions: assigns Core
+  /// unless that is hard-forbidden against already-colored neighbors, else
+  /// Second. No overlay optimization (the published baselines fix colors
+  /// when the net is routed without weighing overlay costs).
+  Color firstFitColor(NetId net);
+
+  /// Per-vertex color prior added to every coloring decision (pseudo-
+  /// coloring and the flipping DP). Used to encode physical knowledge the
+  /// pairwise scenario table cannot see, e.g. "an isolated via stub is
+  /// safest as a core pattern".
+  void setPrior(NetId net, std::int64_t corePrior, std::int64_t secondPrior);
+  /// Prior of a vertex under a color (0 if none set).
+  std::int64_t priorOf(std::uint32_t vertex, Color c) const;
+
+  /// Cost of one edge under the current coloring; uncolored endpoints
+  /// contribute their best case. Includes the cut-risk penalty.
+  std::int64_t edgeCost(const OcgEdge& e) const;
+  /// Pure side-overlay units of one edge under the current coloring
+  /// (no cut-risk penalty; kHardCost entries reported as kHardCost).
+  int edgeOverlayUnits(const OcgEdge& e) const;
+
+  /// Total side-overlay units over all alive edges under current colors.
+  std::int64_t totalOverlayUnits() const;
+  /// Side-overlay units contributed by edges incident to one net.
+  std::int64_t overlayUnitsOfNet(NetId net) const;
+  /// Side-overlay units over all edges incident to any member of the net's
+  /// hard class (a class flip moves all of them together, so violation
+  /// checks must look class-wide).
+  std::int64_t classOverlayUnits(NetId net) const;
+  /// Number of alive edges whose current assignment is flagged cutRisk.
+  int cutRiskCount() const;
+
+  // -- Introspection for the color-flipping engine --------------------------
+
+  const std::vector<OcgEdge>& edges() const { return edges_; }
+  /// Calls fn(edgeIndex) for every alive edge incident to a vertex.
+  void forEachEdgeOf(std::uint32_t vertex,
+                     const std::function<void(std::size_t)>& fn) const;
+  /// Hard-class representative and parity of a vertex (const lookup).
+  std::pair<std::uint32_t, std::uint8_t> hardClassOf(std::uint32_t v) const;
+  const std::vector<NetId>& vertexNets() const { return nets_; }
+
+  /// Applies colors computed externally (color flipping): colors[i] is the
+  /// color for vertex i; Unassigned entries are left untouched.
+  void applyColors(const std::vector<Color>& colors);
+
+ private:
+  std::int64_t costOfAssignment(const OcgEdge& e, Color cu, Color cv) const;
+  void rebuildHardStructure();
+  Color classColorOf(std::uint32_t vertex) const;
+
+  std::vector<NetId> nets_;                       // vertex -> net
+  std::unordered_map<NetId, std::uint32_t> idx_;  // net -> vertex
+  std::vector<OcgEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> adj_;  // vertex -> edge indices
+  mutable ParityDsu hard_;
+  /// Color per hard-class representative; vertex color = this ^ parity.
+  std::unordered_map<std::uint32_t, Color> classColor_;
+  /// Members of each hard class, keyed by representative (kept in sync by
+  /// addScenario/rebuild so pseudoColor is O(class degree), not O(V)).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> classMembers_;
+  /// Optional per-vertex color priors {core, second}.
+  std::unordered_map<std::uint32_t, std::array<std::int64_t, 2>> priors_;
+  int hardViolations_ = 0;
+};
+
+}  // namespace sadp

@@ -1,0 +1,249 @@
+#include "ocg/scenario.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace sadp {
+
+const char* toString(Color c) {
+  switch (c) {
+    case Color::Core:
+      return "C";
+    case Color::Second:
+      return "S";
+    default:
+      return "?";
+  }
+}
+
+const char* toString(ScenarioType t) {
+  switch (t) {
+    case ScenarioType::Independent:
+      return "indep";
+    case ScenarioType::T1a:
+      return "1-a";
+    case ScenarioType::T1b:
+      return "1-b";
+    case ScenarioType::T2a:
+      return "2-a";
+    case ScenarioType::T2b:
+      return "2-b";
+    case ScenarioType::T2c:
+      return "2-c";
+    case ScenarioType::T2d:
+      return "2-d";
+    case ScenarioType::T3a:
+      return "3-a";
+    case ScenarioType::T3b:
+      return "3-b";
+    case ScenarioType::T3c:
+      return "3-c";
+    case ScenarioType::T3d:
+      return "3-d";
+    case ScenarioType::T3e:
+      return "3-e";
+  }
+  return "?";
+}
+
+int ScenarioRule::minOverlay() const {
+  int m = kHardCost;
+  for (int c : overlay) m = std::min(m, c);
+  return m;
+}
+
+int ScenarioRule::maxOverlay() const {
+  int m = 0;
+  for (int c : overlay) {
+    if (c < kHardCost) m = std::max(m, c);
+  }
+  return m;
+}
+
+const ScenarioRule& scenarioRule(ScenarioType t) {
+  // Assignment order: CC, CS, SC, SS (first letter = pattern A).
+  // Costs in units of w_line; kHardCost marks hard overlays (forbidden).
+  // Sources: Figs. 24-34 and the prose of §III-A / §III-D; entries the
+  // figure artwork would pin down exactly are reconstructed (DESIGN.md §3).
+  static const ScenarioRule rules[] = {
+      {ScenarioType::Independent, {0, 0, 0, 0}, {}},
+      // 1-a: side-to-side @1. CC/SS merge the cores (or starve the assist
+      // cores) along the full facing span -> hard overlay (Fig. 24).
+      {ScenarioType::T1a,
+       {kHardCost, 0, 0, kHardCost},
+       {false, false, false, false}},
+      // 1-b: tip-to-side @1. Different colors -> hard overlay, and CS also
+      // produces a Type-A cut conflict (Figs. 25, 15(a)).
+      {ScenarioType::T1b,
+       {0, kHardCost, kHardCost, 0},
+       {false, true, true, false}},
+      // 2-a: side-to-side @2. Mixed colors force the assist core of the
+      // second pattern to merge with the core -> overlays + cut risk
+      // (Fig. 26).
+      {ScenarioType::T2a, {0, 2, 2, 0}, {false, true, true, false}},
+      // 2-b: tip-to-side @2. At least one unit of side overlay regardless
+      // of assignment; CS risks a cut conflict (Fig. 27). This is the only
+      // scenario with unavoidable side overlay, hence the gamma*T2b term in
+      // the routing cost, eq. (5).
+      {ScenarioType::T2b, {1, 2, 2, 1}, {false, true, false, false}},
+      // 2-c / 2-d: tip-to-tip; only non-critical tip overlays (Figs. 28-29).
+      {ScenarioType::T2c, {0, 0, 0, 0}, {}},
+      {ScenarioType::T2d, {0, 0, 0, 0}, {}},
+      // 3-a: parallel diagonal; same colors induce one unit (Fig. 7(e)/(f)).
+      {ScenarioType::T3a, {1, 0, 0, 1}, {}},
+      // 3-b: orthogonal diagonal; both-second is the only overlay-free
+      // assignment (Fig. 11(e)).
+      {ScenarioType::T3b, {1, 1, 1, 0}, {}},
+      // 3-c: only CS is penalized (Fig. 11(f)).
+      {ScenarioType::T3c, {0, 1, 0, 0}, {}},
+      // 3-d: mirror of 3-c (reconstructed; see DESIGN.md §3).
+      {ScenarioType::T3d, {0, 0, 1, 0}, {}},
+      // 3-e: no side overlay regardless (stated in §III-A).
+      {ScenarioType::T3e, {0, 0, 0, 0}, {}},
+  };
+  return rules[static_cast<int>(t)];
+}
+
+std::ostream& operator<<(std::ostream& os, const Fragment& f) {
+  return os << "frag[net " << f.net << " (" << f.xlo << "," << f.ylo << ")-("
+            << f.xhi << "," << f.yhi << ")]";
+}
+
+bool Classification::hard() const {
+  for (int c : overlay) {
+    if (c >= kHardCost) return true;
+  }
+  return false;
+}
+
+bool Classification::material() const {
+  if (independent()) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (overlay[i] != 0 || cutRisk[i]) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Overlap of two half-open index ranges, in tracks (>= 0).
+Track overlapTracks(Track alo, Track ahi, Track blo, Track bhi) {
+  return std::max<Track>(0, std::min(ahi, bhi) - std::max(alo, blo));
+}
+
+Classification fromRule(ScenarioType t, bool swapped) {
+  const ScenarioRule& r = scenarioRule(t);
+  Classification c;
+  c.type = t;
+  c.overlay = r.overlay;
+  c.cutRisk = r.cutRisk;
+  if (swapped) {  // exchange the CS and SC entries
+    std::swap(c.overlay[1], c.overlay[2]);
+    std::swap(c.cutRisk[1], c.cutRisk[2]);
+  }
+  return c;
+}
+
+/// Scales the finite overlay entries by the facing span (total side-overlay
+/// length grows with the exposed side length); hard entries stay hard.
+Classification scaledBySpan(Classification c, Track span) {
+  if (span <= 1) return c;
+  for (int& v : c.overlay) {
+    if (v > 0 && v < kHardCost) v *= span;
+  }
+  return c;
+}
+
+bool isStub(const Fragment& f) { return f.width() == f.height(); }
+
+}  // namespace
+
+Classification classify(const Fragment& a, const Fragment& b) {
+  Classification indep;
+  if (a.net == b.net) return indep;  // Theorem 3: same polygon
+  const Track gx = trackGap(a.xlo, a.xhi, b.xlo, b.xhi);
+  const Track gy = trackGap(a.ylo, a.yhi, b.ylo, b.yhi);
+  if (independentGaps(gx, gy)) return indep;
+
+  const bool stubA = isStub(a);
+  const bool stubB = isStub(b);
+
+  // Orientation model: 1x1 stub fragments adopt the partner's orientation
+  // (parallel pairing); two stubs along an axis behave tip-to-tip, and
+  // diagonal stub pairs follow the parallel diagonal rules (DESIGN.md §3).
+  Orient oa = a.orient();
+  Orient ob = b.orient();
+  if (stubA && !stubB) oa = ob;
+  if (stubB && !stubA) ob = oa;
+
+  if (stubA && stubB) {
+    if (gx == 0 || gy == 0) {
+      // Stacked stubs: facing boundaries are full tips.
+      const Track d = std::max(gx, gy);
+      return fromRule(d == 1 ? ScenarioType::T2c : ScenarioType::T2d, false);
+    }
+    oa = ob = Orient::Horizontal;  // diagonal stub pair: parallel rules
+  }
+
+  if (oa != ob) {
+    // Orthogonal pair: tuple symmetric under (x,y) <-> (y,x).
+    const Track lo = std::min(gx, gy);
+    const Track hi = std::max(gx, gy);
+    if (lo == 0) {
+      // Tip-to-side: the fragment whose long axis runs along the gap axis
+      // is the tip pattern (canonical role B); the other offers its side.
+      const Orient gapAxis = (gy > 0) ? Orient::Vertical : Orient::Horizontal;
+      const bool aIsTip = (oa == gapAxis);
+      const ScenarioType t = (hi == 1) ? ScenarioType::T1b : ScenarioType::T2b;
+      return fromRule(t, /*swapped=*/aIsTip);
+    }
+    return fromRule(hi == 1 ? ScenarioType::T3b : ScenarioType::T3e, false);
+  }
+
+  // Parallel pair: normalize to (along, across) w.r.t. the wire axis.
+  const bool horizontal = (oa == Orient::Horizontal);
+  const Track along = horizontal ? gx : gy;
+  const Track across = horizontal ? gy : gx;
+  if (across == 0) {
+    return fromRule(along == 1 ? ScenarioType::T2c : ScenarioType::T2d, false);
+  }
+  if (along == 0) {
+    const Track span = horizontal ? overlapTracks(a.xlo, a.xhi, b.xlo, b.xhi)
+                                  : overlapTracks(a.ylo, a.yhi, b.ylo, b.yhi);
+    if (across == 1) {
+      Classification c = fromRule(ScenarioType::T1a, false);
+      if (span <= 1) {
+        // Facing span of one track (stub beside a wire, or two wires
+        // overlapping one cell at a corner). CC merges and the separating
+        // cut exposes only w_line per pattern (nonhard); SS stays hard:
+        // there is no room for either pattern's assist core in the corner,
+        // so the exposure chains past w_line (physical model, DESIGN.md §3).
+        c.overlay[assignmentIndex(Color::Core, Color::Core)] = 2;
+      }
+      return c;
+    }
+    // Type 2-a: the mixed assignment merges the second pattern's assist
+    // core with the core pattern along the whole facing span; the
+    // separating cut defines a CONTIGUOUS side section of span length.
+    // Beyond one track that exceeds w_line, i.e., it is a hard overlay by
+    // the Section II-C definition, so the same-color rule escalates to a
+    // hard constraint (physical-model-driven refinement; DESIGN.md §3).
+    Classification c = scaledBySpan(fromRule(ScenarioType::T2a, false), span);
+    if (span >= 2) {
+      c.overlay[assignmentIndex(Color::Core, Color::Second)] = kHardCost;
+      c.overlay[assignmentIndex(Color::Second, Color::Core)] = kHardCost;
+    }
+    return c;
+  }
+  // Diagonal parallel pair.
+  if (along == 1 && across == 1) return fromRule(ScenarioType::T3a, false);
+  // 3-c (along 1, across 2) and 3-d (along 2, across 1): canonical role A
+  // is the fragment with the smaller along-axis coordinate.
+  const Track aAlongLo = horizontal ? a.xlo : a.ylo;
+  const Track bAlongLo = horizontal ? b.xlo : b.ylo;
+  const bool swapped = aAlongLo > bAlongLo;
+  if (along == 1 && across == 2) return fromRule(ScenarioType::T3c, swapped);
+  return fromRule(ScenarioType::T3d, swapped);  // along == 2 && across == 1
+}
+
+}  // namespace sadp

@@ -1,0 +1,178 @@
+#include "route/astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace sadp {
+
+namespace {
+
+struct OpenEntry {
+  double f;
+  double g;
+  std::uint32_t node;
+
+  bool operator>(const OpenEntry& o) const { return f > o.f; }
+};
+
+}  // namespace
+
+AStarEngine::AStarEngine(const RoutingGrid& grid)
+    : grid_(&grid),
+      best_(grid.nodeCount(), 0.0f),
+      parent_(grid.nodeCount(), 0),
+      stamp_(grid.nodeCount(), 0),
+      targetStamp_(grid.nodeCount(), 0) {}
+
+std::optional<AStarResult> AStarEngine::route(NetId net,
+                                              std::span<const GridNode> sources,
+                                              std::span<const GridNode> targets,
+                                              const AStarParams& params,
+                                              const PenaltyField* extra,
+                                              const T2bField* t2b) {
+  if (sources.empty() || targets.empty()) return std::nullopt;
+  const RoutingGrid& grid = *grid_;
+  ++epoch_;
+  const std::uint32_t epoch = epoch_;
+
+  auto visit = [&](std::uint32_t idx) -> bool {  // true if first visit
+    if (stamp_[idx] == epoch) return false;
+    stamp_[idx] = epoch;
+    best_[idx] = std::numeric_limits<float>::infinity();
+    parent_[idx] = std::uint32_t(-1);
+    return true;
+  };
+  auto gOf = [&](std::uint32_t idx) {
+    return stamp_[idx] == epoch ? best_[idx]
+                                : std::numeric_limits<float>::infinity();
+  };
+
+  auto decode = [&](std::uint32_t idx) {
+    const std::size_t w = std::size_t(grid.width());
+    const std::size_t h = std::size_t(grid.height());
+    return GridNode{Track(idx % w), Track((idx / w) % h),
+                    std::int16_t(idx / (w * h))};
+  };
+
+  // Targets are stamped so membership tests stay O(1) even when routing
+  // toward an entire existing tree (multi-pin Steiner extension).
+  bool anyTarget = false;
+  for (const GridNode& t : targets) {
+    if (grid.inBounds(t)) {
+      targetStamp_[grid.index(t)] = epoch;
+      anyTarget = true;
+    }
+  }
+  if (!anyTarget) return std::nullopt;
+  auto isTarget = [&](std::uint32_t idx) {
+    return targetStamp_[idx] == epoch;
+  };
+
+  // Admissible heuristic: cheapest conceivable remaining cost. With many
+  // targets (tree targets) the linear scan would dominate, so fall back to
+  // Dijkstra (h = 0), which is trivially admissible.
+  const bool useHeuristic = targets.size() <= 8;
+  auto heuristic = [&](const GridNode& a) {
+    if (!useHeuristic) return 0.0;
+    double hBest = std::numeric_limits<double>::infinity();
+    for (const GridNode& t : targets) {
+      const double d =
+          params.alpha * (std::abs(a.x - t.x) + std::abs(a.y - t.y)) +
+          params.beta * std::abs(a.layer - t.layer);
+      hBest = std::min(hBest, d);
+    }
+    return hBest;
+  };
+
+  auto passable = [&](const GridNode& node) {
+    const NetId owner = grid.owner(node);
+    return owner == kInvalidNet || owner == net;
+  };
+
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>> open;
+  for (const GridNode& s : sources) {
+    if (!grid.inBounds(s) || !passable(s)) continue;
+    const std::uint32_t idx = std::uint32_t(grid.index(s));
+    visit(idx);
+    best_[idx] = 0.0f;
+    open.push({heuristic(s), 0.0, idx});
+  }
+
+  AStarResult result;
+  std::uint32_t goal = std::uint32_t(-1);
+  while (!open.empty()) {
+    const OpenEntry top = open.top();
+    open.pop();
+    if (top.g > gOf(top.node)) continue;  // stale entry
+    if (++result.expansions > params.maxExpansions) return std::nullopt;
+    if (isTarget(top.node)) {
+      goal = top.node;
+      result.cost = top.g;
+      break;
+    }
+    const GridNode cur = decode(top.node);
+
+    for (int m = 0; m < 6; ++m) {  // +-x, +-y, via up/down
+      GridNode nxt = cur;
+      double step = 0.0;
+      bool viaMove = false;
+      switch (m) {
+        case 0: nxt.x += 1; break;
+        case 1: nxt.x -= 1; break;
+        case 2: nxt.y += 1; break;
+        case 3: nxt.y -= 1; break;
+        case 4: nxt.layer += 1; viaMove = true; break;
+        case 5: nxt.layer -= 1; viaMove = true; break;
+      }
+      if (!grid.inBounds(nxt) || !passable(nxt)) continue;
+      if (viaMove) {
+        step = params.beta;
+      } else {
+        const bool horizontalMove = (m < 2);
+        const bool preferred =
+            (grid.preferredDir(cur.layer) == Orient::Horizontal) ==
+            horizontalMove;
+        step = params.alpha * (preferred ? 1.0 : params.wrongWay);
+        if (t2b != nullptr) {
+          const PenaltyField& f =
+              horizontalMove ? t2b->horizontalEntry : t2b->verticalEntry;
+          step += params.gamma * f.at(nxt);
+        }
+      }
+      if (extra != nullptr) step += extra->at(nxt);
+      const std::uint32_t nidx = std::uint32_t(grid.index(nxt));
+      const double g = top.g + step;
+      const bool fresh = visit(nidx);
+      if (fresh || g < best_[nidx]) {
+        best_[nidx] = float(g);
+        parent_[nidx] = top.node;
+        open.push({g + heuristic(nxt), g, nidx});
+      }
+    }
+  }
+  if (goal == std::uint32_t(-1)) return std::nullopt;
+
+  std::uint32_t cur = goal;
+  while (cur != std::uint32_t(-1)) {
+    result.path.push_back(decode(cur));
+    cur = parent_[cur];
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  for (std::size_t i = 1; i < result.path.size(); ++i) {
+    if (result.path[i].layer != result.path[i - 1].layer) ++result.vias;
+  }
+  return result;
+}
+
+std::optional<AStarResult> aStarRoute(const RoutingGrid& grid, NetId net,
+                                      std::span<const GridNode> sources,
+                                      std::span<const GridNode> targets,
+                                      const AStarParams& params,
+                                      const PenaltyField* extra,
+                                      const T2bField* t2b) {
+  AStarEngine engine(grid);
+  return engine.route(net, sources, targets, params, extra, t2b);
+}
+
+}  // namespace sadp

@@ -1,0 +1,98 @@
+// Overlay-aware A*-search over the gridded routing plane (paper §III-E).
+//
+// Step cost follows eq. (5): C(j) = C(i) + alpha*wl + beta*via + gamma*T2b,
+// where the T2b term discourages steps that would create a type 2-b
+// potential overlay scenario (the only scenario whose side overlay is
+// unavoidable). Two engineering knobs documented in DESIGN.md: a mild
+// wrong-way multiplier keeps wires in the layer's preferred direction, and
+// a per-net penalty field implements IncreaseCost() for rip-up & re-route.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+
+namespace sadp {
+
+struct AStarParams {
+  double alpha = 1.0;        ///< wirelength weight
+  double beta = 1.0;         ///< via weight
+  double gamma = 1.5;        ///< type 2-b scenario weight
+  double wrongWay = 1.5;     ///< multiplier on alpha against preferred dir
+  std::int64_t maxExpansions = 4'000'000;  ///< search effort cap
+};
+
+/// Sparse additive penalty field over grid nodes (rip-up cost increase and
+/// the T2b risk field). Values accumulate; negative deltas allowed.
+class PenaltyField {
+ public:
+  explicit PenaltyField(const RoutingGrid& grid)
+      : grid_(&grid), values_(grid.nodeCount(), 0.0f) {}
+
+  void add(const GridNode& n, float delta) {
+    if (grid_->inBounds(n)) values_[grid_->index(n)] += delta;
+  }
+  float at(const GridNode& n) const { return values_[grid_->index(n)]; }
+  void clear() { std::fill(values_.begin(), values_.end(), 0.0f); }
+
+ private:
+  const RoutingGrid* grid_;
+  std::vector<float> values_;
+};
+
+/// Directional T2b risk: separate penalties for entering a cell moving
+/// horizontally vs vertically (a vertical step beside a horizontal wire's
+/// side can close a tip-to-side @2 relation; a horizontal one cannot).
+struct T2bField {
+  explicit T2bField(const RoutingGrid& grid)
+      : horizontalEntry(grid), verticalEntry(grid) {}
+  PenaltyField horizontalEntry;
+  PenaltyField verticalEntry;
+};
+
+/// Search result: the grid nodes of the path (pin to pin, in order) plus
+/// cost accounting.
+struct AStarResult {
+  std::vector<GridNode> path;
+  double cost = 0.0;
+  int vias = 0;
+  std::int64_t expansions = 0;
+};
+
+/// Reusable multi-source / multi-target A* engine. Search state arrays are
+/// epoch-stamped so repeated route() calls touch only the visited region.
+/// The routed net may pass through nodes it already owns (its pins) but not
+/// through other nets or blockages.
+class AStarEngine {
+ public:
+  explicit AStarEngine(const RoutingGrid& grid);
+
+  std::optional<AStarResult> route(NetId net,
+                                   std::span<const GridNode> sources,
+                                   std::span<const GridNode> targets,
+                                   const AStarParams& params,
+                                   const PenaltyField* extra = nullptr,
+                                   const T2bField* t2b = nullptr);
+
+ private:
+  const RoutingGrid* grid_;
+  std::vector<float> best_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> targetStamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// One-shot convenience wrapper around AStarEngine (tests, examples).
+std::optional<AStarResult> aStarRoute(const RoutingGrid& grid, NetId net,
+                                      std::span<const GridNode> sources,
+                                      std::span<const GridNode> targets,
+                                      const AStarParams& params = {},
+                                      const PenaltyField* extra = nullptr,
+                                      const T2bField* t2b = nullptr);
+
+}  // namespace sadp

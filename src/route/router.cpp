@@ -1,0 +1,525 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+
+namespace sadp {
+
+namespace {
+
+/// All pins of a net (source, target, taps).
+std::vector<const Pin*> netPins(const Net& n) {
+  std::vector<const Pin*> pins{&n.source, &n.target};
+  for (const Pin& p : n.taps) pins.push_back(&p);
+  return pins;
+}
+
+}  // namespace
+
+OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
+                                       const Netlist& netlist,
+                                       RouterOptions options)
+    : grid_(&grid),
+      netlist_(&netlist),
+      opts_(options),
+      model_(grid.layers(), grid.width(), grid.height(),
+             options.enableMergeOddCycles),
+      engine_(grid),
+      ripUpField_(grid),
+      t2bField_(grid),
+      states_(netlist.size()) {
+  // Reserve every pin candidate so later nets cannot run over them.
+  for (const Net& n : netlist.nets) {
+    for (const Pin* pin : netPins(n)) {
+      for (const GridNode& c : pin->candidates) {
+        if (grid_->inBounds(c) && grid_->isFree(c)) grid_->occupy(c, n.id);
+      }
+    }
+  }
+}
+
+void OverlayAwareRouter::occupyPath(const Net& net) {
+  for (const GridNode& n : states_[net.id].path) {
+    grid_->occupy(n, net.id);
+  }
+}
+
+void OverlayAwareRouter::releasePath(const Net& net) {
+  for (const GridNode& n : states_[net.id].path) {
+    grid_->release(n, net.id);
+  }
+  // Keep pin candidates reserved.
+  for (const Pin* pin : netPins(net)) {
+    for (const GridNode& c : pin->candidates) {
+      if (grid_->inBounds(c) && grid_->isFree(c)) grid_->occupy(c, net.id);
+    }
+  }
+  states_[net.id].path.clear();
+}
+
+void OverlayAwareRouter::applyT2bMarks(NetId net, float delta) {
+  for (int layer = 0; layer < grid_->layers(); ++layer) {
+    for (const Fragment& f : model_.netFragments(net, layer)) {
+      const auto L = std::int16_t(layer);
+      if (f.orient() == Orient::Horizontal && f.width() > f.height()) {
+        for (Track x = f.xlo; x < f.xhi; ++x) {
+          t2bField_.verticalEntry.add({x, f.ylo - 2, L}, delta);
+          t2bField_.verticalEntry.add({x, f.yhi + 1, L}, delta);
+        }
+      } else if (f.orient() == Orient::Vertical) {
+        for (Track y = f.ylo; y < f.yhi; ++y) {
+          t2bField_.horizontalEntry.add({f.xlo - 2, y, L}, delta);
+          t2bField_.horizontalEntry.add({f.xhi + 1, y, L}, delta);
+        }
+      }
+    }
+  }
+}
+
+void OverlayAwareRouter::penalizeHardHits(
+    const std::vector<ScenarioHit>& hits) {
+  for (const ScenarioHit& h : hits) {
+    // Penalize the region of the new net's own fragment (h.a) so the
+    // re-route detours away from the scenario.
+    const auto L = std::int16_t(h.layer);
+    for (Track y = h.a.ylo - 1; y <= h.a.yhi; ++y) {
+      for (Track x = h.a.xlo - 1; x <= h.a.xhi; ++x) {
+        ripUpField_.add({x, y, L}, opts_.ripUpPenalty);
+      }
+    }
+  }
+}
+
+void OverlayAwareRouter::tearDownNet(const Net& net) {
+  NetRouteState& st = states_[net.id];
+  if (st.routed) {
+    applyT2bMarks(net.id, -1.0f);
+    stats_.vias -= st.vias;
+    stats_.wirelength -= st.wirelength;
+    --stats_.routedNets;
+    st.routed = false;
+  }
+  st.vias = 0;
+  st.wirelength = 0;
+  model_.removeNet(net.id);
+  releasePath(net);
+}
+
+int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
+  const Track w = opts_.cutCheckWindowTracks;
+  int bestConflicts = 0;
+  for (int layer = 0; layer < grid_->layers(); ++layer) {
+    const std::vector<Fragment> own = model_.netFragments(net.id, layer);
+    if (own.empty()) continue;
+    Rect window;
+    for (const Fragment& f : own) {
+      window = window.unionWith(Rect{f.xlo, f.ylo, f.xhi, f.yhi});
+    }
+    window = window.inflated(w);
+    OverlayConstraintGraph& g = model_.graph(layer);
+    const Color original = g.colorOf(net.id);
+
+    auto windowFrags = [&](bool includeNet) {
+      std::vector<ColoredFragment> frags;
+      for (const Fragment& f : model_.fragmentsInWindow(layer, window)) {
+        if (!includeNet && f.net == net.id) continue;
+        Color fc = g.colorOf(f.net);
+        if (fc == Color::Unassigned) fc = Color::Core;
+        frags.push_back({f, fc});
+      }
+      return frags;
+    };
+    // Attribution: count only conflict boxes near the net's own metal, and
+    // only the increase over the same count without the net (pre-existing
+    // conflicts elsewhere must not block it).
+    const Nm pitch = grid_->rules().pitch();
+    std::vector<Rect> ownNm;
+    for (const Fragment& f : own) {
+      ownNm.push_back(Rect{f.xlo * pitch, f.ylo * pitch, f.xhi * pitch,
+                           f.yhi * pitch}
+                          .inflated(2 * pitch));
+    }
+    auto nearOwn = [&](const LayerDecomposition& d) {
+      int n = 0;
+      for (const Rect& box : d.conflictBoxesNm) {
+        for (const Rect& o : ownNm) {
+          if (o.overlaps(box)) {
+            ++n;
+            break;
+          }
+        }
+      }
+      return n;
+    };
+    const int baseline =
+        nearOwn(decomposeLayer(windowFrags(false), grid_->rules()));
+    auto conflictsUnder = [&](Color c) {
+      g.setColor(net.id, c);
+      const LayerDecomposition d =
+          decomposeLayer(windowFrags(true), grid_->rules());
+      return std::max(0, nearOwn(d) - baseline);
+    };
+
+    const Color base = original == Color::Unassigned ? Color::Core : original;
+    int conflicts = conflictsUnder(base);
+    if (conflicts > 0) {
+      const int altConflicts = conflictsUnder(flippedColor(base));
+      if (altConflicts < conflicts) {
+        conflicts = altConflicts;  // keep the flipped color
+      } else {
+        g.setColor(net.id, base);
+      }
+    }
+    bestConflicts += conflicts;
+  }
+  return bestConflicts;
+}
+
+bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
+  NetRouteState& st = states_[net.id];
+  if (freshPenaltyField) ripUpField_.clear();
+
+  for (int attempt = 0; attempt <= opts_.maxRipUp; ++attempt) {
+    const bool usePenalty = !freshPenaltyField || attempt > 0;
+    auto res = engine_.route(
+        net.id, net.source.candidates, net.target.candidates, opts_.astar,
+        usePenalty ? &ripUpField_ : nullptr,
+        opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
+    if (!res) return false;
+
+    // Release unchosen pin candidates, commit the path.
+    for (const Pin* pin : netPins(net)) {
+      for (const GridNode& c : pin->candidates) {
+        grid_->release(c, net.id);
+      }
+    }
+    st.path = std::move(res->path);
+    occupyPath(net);
+
+    // Multi-pin nets: connect every tap to the growing tree (sequential
+    // Steiner). A tap that cannot reach the tree fails the whole attempt.
+    bool tapsOk = true;
+    for (const Pin& tap : net.taps) {
+      auto tres = engine_.route(
+          net.id, tap.candidates, st.path, opts_.astar,
+          usePenalty ? &ripUpField_ : nullptr,
+          opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
+      if (!tres) {
+        tapsOk = false;
+        break;
+      }
+      res->vias += tres->vias;
+      // The last node already belongs to the tree.
+      for (std::size_t i = 0; i + 1 < tres->path.size(); ++i) {
+        grid_->occupy(tres->path[i], net.id);
+        st.path.push_back(tres->path[i]);
+      }
+    }
+    if (!tapsOk) {
+      releasePath(net);
+      return false;
+    }
+
+    AddNetResult add = model_.addNet(net.id, st.path);
+    bool reject = false;
+    if (add.hardViolation) {
+      if (opts_.acceptHardViolations) {
+        ++stats_.hardViolationsAccepted;  // baseline mode: count, keep
+      } else {
+        reject = true;  // hard odd cycle: Algorithm 1 lines 6-9
+        penalizeHardHits(add.hardHits);
+      }
+    }
+    if (!reject) {
+      if (opts_.naiveColoring) {
+        model_.firstFitColor(net.id);
+      } else {
+        model_.pseudoColor(net.id);
+      }
+      // A net whose best coloring still hits a forbidden assignment (a
+      // single-assignment ban forced by surrounding hard classes) would
+      // print a hard overlay: rip it up like an odd cycle. The check is
+      // class-wide because pseudo-coloring flips the whole hard class.
+      if (!opts_.acceptHardViolations &&
+          model_.classOverlayUnitsOfNet(net.id) >= kHardCost) {
+        reject = true;
+        for (const GridNode& n : st.path) {
+          ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
+        }
+      }
+    }
+    if (!reject && opts_.enableCutCheck && resolveCutConflicts(net) > 0) {
+      reject = true;
+      // Penalize the whole path region lightly to push the next try away.
+      for (const GridNode& n : st.path) {
+        ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
+      }
+    }
+    if (reject) {
+      model_.removeNet(net.id);
+      releasePath(net);
+      ++st.ripUps;
+      ++stats_.ripUps;
+      continue;
+    }
+
+    // Accepted.
+    applyT2bMarks(net.id, +1.0f);
+    st.vias = res->vias;
+    st.wirelength = std::int64_t(st.path.size()) - 1 - res->vias;
+    stats_.vias += st.vias;
+    stats_.wirelength += st.wirelength;
+    ++stats_.routedNets;
+    st.routed = true;
+
+    if (opts_.enableColorFlip &&
+        model_.overlayUnitsOfNet(net.id) > opts_.flipThreshold) {
+      for (int layer = 0; layer < grid_->layers(); ++layer) {
+        if (model_.graph(layer).findVertex(net.id) >= 0) {
+          colorFlip(model_.graph(layer));
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+RoutingStats OverlayAwareRouter::run() {
+  stats_ = RoutingStats{};
+  stats_.totalNets = int(netlist_->size());
+  std::vector<const Net*> order;
+  order.reserve(netlist_->size());
+  for (const Net& net : netlist_->nets) order.push_back(&net);
+  if (opts_.shortNetsFirst) {
+    auto hpwl = [](const Net& n) {
+      const GridNode& s = n.source.candidates.front();
+      const GridNode& t = n.target.candidates.front();
+      return std::abs(s.x - t.x) + std::abs(s.y - t.y);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const Net* a, const Net* b) {
+                       return hpwl(*a) < hpwl(*b);
+                     });
+  }
+  for (const Net* netPtr : order) {
+    const Net& net = *netPtr;
+    if (!routeNet(net)) {
+      // Leave the net unrouted; keep its pins reserved.
+      states_[net.id].routed = false;
+      model_.removeNet(net.id);
+      releasePath(net);
+    }
+  }
+  if (opts_.enableColorFlip && opts_.finalGlobalFlip) colorFlipAll(model_);
+  if (opts_.enableRepair) repairViolations(opts_.repairPasses);
+  return stats_;
+}
+
+int OverlayAwareRouter::repairViolations(int maxPasses) {
+  const DesignRules& rules = grid_->rules();
+  const Nm pitch = rules.pitch();
+  for (int pass = 0; pass < maxPasses; ++pass) {
+    bool changed = false;
+    for (int layer = 0; layer < grid_->layers(); ++layer) {
+      const LayerDecomposition full = decompose(layer);
+      std::vector<Rect> boxes = full.conflictBoxesNm;
+      boxes.insert(boxes.end(), full.hardOverlayBoxesNm.begin(),
+                   full.hardOverlayBoxesNm.end());
+      if (boxes.empty()) continue;
+      OverlayConstraintGraph& g = model_.graph(layer);
+      for (const Rect& boxNm : boxes) {
+        const Rect windowTr{
+            Track(boxNm.xlo / pitch - 8), Track(boxNm.ylo / pitch - 8),
+            Track(boxNm.xhi / pitch + 9), Track(boxNm.yhi / pitch + 9)};
+        auto localViolations = [&]() {
+          std::vector<ColoredFragment> frags;
+          for (const Fragment& f :
+               model_.fragmentsInWindow(layer, windowTr)) {
+            Color fc = g.colorOf(f.net);
+            if (fc == Color::Unassigned) fc = Color::Core;
+            frags.push_back({f, fc});
+          }
+          const OverlayReport r = decomposeLayer(frags, rules).report;
+          return r.cutConflicts() + r.hardOverlays;
+        };
+        int current = localViolations();
+        if (current == 0) continue;  // fixed by a previous repair
+
+        // Stage 1: color flips of involved nets.
+        std::vector<NetId> candidates;
+        const Rect tightTr{
+            Track(boxNm.xlo / pitch - 1), Track(boxNm.ylo / pitch - 1),
+            Track(boxNm.xhi / pitch + 2), Track(boxNm.yhi / pitch + 2)};
+        for (const Fragment& f : model_.fragmentsInWindow(layer, tightTr)) {
+          if (std::find(candidates.begin(), candidates.end(), f.net) ==
+              candidates.end()) {
+            candidates.push_back(f.net);
+          }
+        }
+        for (NetId n : candidates) {
+          const Color before = g.colorOf(n);
+          const Color base = before == Color::Unassigned ? Color::Core
+                                                         : before;
+          g.setColor(n, flippedColor(base));
+          // Class-wide legality: the flip moves every hard-classmate too.
+          if (g.classOverlayUnits(n) >= kHardCost) {
+            g.setColor(n, base);
+            continue;
+          }
+          const int after = localViolations();
+          if (after < current) {
+            current = after;
+            changed = true;
+            if (current == 0) break;
+          } else {
+            g.setColor(n, base);
+          }
+        }
+        if (current == 0) continue;
+
+        // Stage 2: targeted rip-up & re-route of one involved net.
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](NetId a, NetId b) {
+                    return states_[a].path.size() < states_[b].path.size();
+                  });
+        bool fixed = false;
+        for (NetId n : candidates) {
+          if (!states_[n].routed) continue;
+          if (rerouteAway(netlist_->nets[n], tightTr, layer)) {
+            changed = true;
+            fixed = true;
+            break;
+          }
+        }
+        if (fixed || pass + 1 < maxPasses) continue;
+
+        // Stage 3 (last pass only): the paper strictly forbids cut
+        // conflicts -- sacrifice the cheapest involved net rather than
+        // ship a conflicting layout. A teardown can also expose neighbors
+        // (their spacer provider disappears), so it must prove itself.
+        if (opts_.sacrificeForZeroConflicts) {
+          for (NetId n : candidates) {
+            if (!states_[n].routed) continue;
+            const int before = localViolations();
+            const std::vector<GridNode> oldPath = states_[n].path;
+            tearDownNet(netlist_->nets[n]);
+            if (localViolations() < before) {
+              changed = true;
+              break;
+            }
+            restoreNet(netlist_->nets[n], oldPath);
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  int remaining = 0;
+  for (int layer = 0; layer < grid_->layers(); ++layer) {
+    const LayerDecomposition d = decompose(layer);
+    remaining += d.report.cutConflicts() + d.report.hardOverlays;
+  }
+  return remaining;
+}
+
+bool OverlayAwareRouter::rerouteAway(const Net& net, const Rect& avoidTr,
+                                     int layer) {
+  NetRouteState& st = states_[net.id];
+  if (!st.routed) return false;
+  const std::vector<GridNode> oldPath = st.path;
+  std::vector<Color> oldColors(grid_->layers(), Color::Unassigned);
+  for (int l = 0; l < grid_->layers(); ++l) {
+    oldColors[l] = model_.colorOf(net.id, l);
+  }
+
+  // Local sign-off metric: violations inside the conflict window must
+  // strictly decrease, or the old route is restored.
+  auto localViol = [&]() {
+    const Rect windowTr = avoidTr.inflated(8);
+    int total = 0;
+    for (int l = 0; l < grid_->layers(); ++l) {
+      std::vector<ColoredFragment> frags;
+      for (const Fragment& f : model_.fragmentsInWindow(l, windowTr)) {
+        Color fc = model_.graph(l).colorOf(f.net);
+        if (fc == Color::Unassigned) fc = Color::Core;
+        frags.push_back({f, fc});
+      }
+      const OverlayReport r =
+          decomposeLayer(frags, grid_->rules()).report;
+      total += r.cutConflicts() + r.hardOverlays;
+    }
+    return total;
+  };
+  const int before = localViol();
+
+  tearDownNet(net);
+  ripUpField_.clear();
+  for (Track y = avoidTr.ylo; y < avoidTr.yhi; ++y) {
+    for (Track x = avoidTr.xlo; x < avoidTr.xhi; ++x) {
+      ripUpField_.add({x, y, std::int16_t(layer)}, 25.0f * opts_.ripUpPenalty);
+    }
+  }
+  if (routeNet(net, /*freshPenaltyField=*/false)) {
+    if (localViol() < before) return true;
+    tearDownNet(net);  // new route is not an improvement: roll back
+  }
+
+  (void)oldColors;
+  restoreNet(net, oldPath);
+  return false;
+}
+
+void OverlayAwareRouter::restoreNet(const Net& net,
+                                    const std::vector<GridNode>& oldPath) {
+  // Re-color through pseudo-coloring (forcing previously captured colors
+  // could violate hard classes that changed meanwhile).
+  NetRouteState& st = states_[net.id];
+  st.path = oldPath;
+  occupyPath(net);
+  model_.addNet(net.id, st.path);
+  model_.pseudoColor(net.id);
+  applyT2bMarks(net.id, +1.0f);
+  st.vias = 0;
+  st.wirelength = std::int64_t(st.path.size()) - 1;
+  for (std::size_t i = 1; i < st.path.size(); ++i) {
+    if (st.path[i].layer != st.path[i - 1].layer) {
+      ++st.vias;
+      --st.wirelength;
+    }
+  }
+  stats_.vias += st.vias;
+  stats_.wirelength += st.wirelength;
+  ++stats_.routedNets;
+  st.routed = true;
+}
+
+std::vector<ColoredFragment> OverlayAwareRouter::coloredFragments(
+    int layer) const {
+  std::vector<ColoredFragment> out;
+  const OverlayConstraintGraph& g = model_.graph(layer);
+  for (const Net& net : netlist_->nets) {
+    if (!states_[net.id].routed) continue;
+    for (const Fragment& f : model_.netFragments(net.id, layer)) {
+      Color c = g.colorOf(net.id);
+      if (c == Color::Unassigned) c = Color::Core;
+      out.push_back({f, c});
+    }
+  }
+  return out;
+}
+
+LayerDecomposition OverlayAwareRouter::decompose(
+    int layer, const DecomposeOptions& opts) const {
+  return decomposeLayer(coloredFragments(layer), grid_->rules(), opts);
+}
+
+OverlayReport OverlayAwareRouter::physicalReport(
+    const DecomposeOptions& opts) const {
+  OverlayReport total;
+  for (int layer = 0; layer < grid_->layers(); ++layer) {
+    total += decompose(layer, opts).report;
+  }
+  return total;
+}
+
+}  // namespace sadp

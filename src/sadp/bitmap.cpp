@@ -1,0 +1,203 @@
+#include "sadp/bitmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace sadp {
+
+std::size_t Bitmap::count() const {
+  return std::size_t(
+      std::count_if(px_.begin(), px_.end(), [](std::uint8_t v) { return v; }));
+}
+
+void Bitmap::fillRect(int xlo, int ylo, int xhi, int yhi, bool v) {
+  xlo = std::max(xlo, 0);
+  ylo = std::max(ylo, 0);
+  xhi = std::min(xhi, w_);
+  yhi = std::min(yhi, h_);
+  for (int y = ylo; y < yhi; ++y) {
+    std::fill(px_.begin() + std::size_t(y) * w_ + xlo,
+              px_.begin() + std::size_t(y) * w_ + xhi, std::uint8_t(v ? 1 : 0));
+  }
+}
+
+bool Bitmap::anyInRect(int xlo, int ylo, int xhi, int yhi) const {
+  xlo = std::max(xlo, 0);
+  ylo = std::max(ylo, 0);
+  xhi = std::min(xhi, w_);
+  yhi = std::min(yhi, h_);
+  for (int y = ylo; y < yhi; ++y) {
+    const auto row = px_.begin() + std::size_t(y) * w_;
+    if (std::any_of(row + xlo, row + xhi,
+                    [](std::uint8_t v) { return v != 0; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void checkSameDims(const Bitmap& a, const Bitmap& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("Bitmap op: dimension mismatch");
+  }
+}
+
+}  // namespace
+
+Bitmap& Bitmap::operator|=(const Bitmap& o) {
+  checkSameDims(*this, o);
+  for (std::size_t i = 0; i < px_.size(); ++i) px_[i] |= o.px_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& o) {
+  checkSameDims(*this, o);
+  for (std::size_t i = 0; i < px_.size(); ++i) px_[i] &= o.px_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::andNot(const Bitmap& o) {
+  checkSameDims(*this, o);
+  for (std::size_t i = 0; i < px_.size(); ++i) {
+    px_[i] = std::uint8_t(px_[i] & ~o.px_[i] & 1);
+  }
+  return *this;
+}
+
+Bitmap& Bitmap::invert() {
+  for (auto& v : px_) v = std::uint8_t(v ? 0 : 1);
+  return *this;
+}
+
+namespace {
+
+/// Separable 1-D max filter of radius r along rows (horizontal pass).
+void maxRows(const std::vector<std::uint8_t>& in, std::vector<std::uint8_t>& out,
+             int w, int h, int r) {
+  for (int y = 0; y < h; ++y) {
+    const std::size_t base = std::size_t(y) * w;
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t m = 0;
+      const int lo = std::max(0, x - r);
+      const int hi = std::min(w - 1, x + r);
+      for (int k = lo; k <= hi && !m; ++k) m = in[base + k];
+      out[base + x] = m;
+    }
+  }
+}
+
+void maxCols(const std::vector<std::uint8_t>& in, std::vector<std::uint8_t>& out,
+             int w, int h, int r) {
+  for (int y = 0; y < h; ++y) {
+    const int lo = std::max(0, y - r);
+    const int hi = std::min(h - 1, y + r);
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t m = 0;
+      for (int k = lo; k <= hi && !m; ++k) m = in[std::size_t(k) * w + x];
+      out[std::size_t(y) * w + x] = m;
+    }
+  }
+}
+
+}  // namespace
+
+Bitmap Bitmap::dilated(int r) const {
+  assert(r >= 0);
+  if (r == 0) return *this;
+  Bitmap tmp(w_, h_), out(w_, h_);
+  std::vector<std::uint8_t> mid(px_.size());
+  maxRows(px_, mid, w_, h_, r);
+  std::vector<std::uint8_t> fin(px_.size());
+  maxCols(mid, fin, w_, h_, r);
+  out.px_ = std::move(fin);
+  return out;
+}
+
+Bitmap Bitmap::eroded(int r) const {
+  assert(r >= 0);
+  if (r == 0) return *this;
+  // Erosion = complement of dilation of the complement. Border pixels are
+  // treated as unset, so eroding shrinks from the raster edge too.
+  Bitmap inv = *this;
+  inv.invert();
+  Bitmap d = inv.dilated(r);
+  d.invert();
+  return d;
+}
+
+bool anyNear(const Bitmap& b, int x, int y, int r) {
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (b.get(x + dx, y + dy)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Rect> componentBoxes(const Bitmap& b) {
+  const int w = b.width(), h = b.height();
+  std::vector<char> seen(std::size_t(w) * h, 0);
+  std::vector<Rect> boxes;
+  std::vector<std::pair<int, int>> stack;
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      if (!b.get(x0, y0) || seen[std::size_t(y0) * w + x0]) continue;
+      Rect box{x0, y0, x0 + 1, y0 + 1};
+      stack.push_back({x0, y0});
+      seen[std::size_t(y0) * w + x0] = 1;
+      while (!stack.empty()) {
+        auto [x, y] = stack.back();
+        stack.pop_back();
+        box = box.unionWith(Rect{x, y, x + 1, y + 1});
+        const int nx[4] = {x + 1, x - 1, x, x};
+        const int ny[4] = {y, y, y + 1, y - 1};
+        for (int i = 0; i < 4; ++i) {
+          if (nx[i] < 0 || ny[i] < 0 || nx[i] >= w || ny[i] >= h) continue;
+          auto& s = seen[std::size_t(ny[i]) * w + nx[i]];
+          if (b.get(nx[i], ny[i]) && !s) {
+            s = 1;
+            stack.push_back({nx[i], ny[i]});
+          }
+        }
+      }
+      boxes.push_back(box);
+    }
+  }
+  return boxes;
+}
+
+int componentCount(const Bitmap& b) {
+  const int w = b.width(), h = b.height();
+  std::vector<std::int32_t> label(std::size_t(w) * h, -1);
+  int components = 0;
+  std::vector<std::pair<int, int>> stack;
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      if (!b.get(x0, y0) || label[std::size_t(y0) * w + x0] >= 0) continue;
+      ++components;
+      stack.push_back({x0, y0});
+      label[std::size_t(y0) * w + x0] = components;
+      while (!stack.empty()) {
+        auto [x, y] = stack.back();
+        stack.pop_back();
+        const int nx[4] = {x + 1, x - 1, x, x};
+        const int ny[4] = {y, y, y + 1, y - 1};
+        for (int i = 0; i < 4; ++i) {
+          if (nx[i] < 0 || ny[i] < 0 || nx[i] >= w || ny[i] >= h) continue;
+          auto& l = label[std::size_t(ny[i]) * w + nx[i]];
+          if (b.get(nx[i], ny[i]) && l < 0) {
+            l = components;
+            stack.push_back({nx[i], ny[i]});
+          }
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sadp

@@ -1,0 +1,77 @@
+// Dense binary raster at 10 nm resolution used by the cut-process mask
+// synthesizer. 10 nm is the gcd of every design-rule value of the paper's
+// 10 nm-node instance, so all mask geometry is pixel-exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace sadp {
+
+/// A W x H boolean raster. Morphological operations use square (Chebyshev)
+/// structuring elements, which coincide with Euclidean checks for every
+/// pixel offset achievable on the 20 nm layout lattice (DESIGN.md §5.6).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(int width, int height) : w_(width), h_(height), px_(size_t(width) * height, 0) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  std::size_t count() const;  ///< number of set pixels
+
+  bool get(int x, int y) const {
+    if (x < 0 || y < 0 || x >= w_ || y >= h_) return false;
+    return px_[std::size_t(y) * w_ + x] != 0;
+  }
+  void set(int x, int y, bool v = true) {
+    if (x < 0 || y < 0 || x >= w_ || y >= h_) return;
+    px_[std::size_t(y) * w_ + x] = v ? 1 : 0;
+  }
+
+  /// Sets every pixel in the half-open box [xlo,xhi) x [ylo,yhi), clipped.
+  void fillRect(int xlo, int ylo, int xhi, int yhi, bool v = true);
+
+  /// True if any pixel in the half-open box is set.
+  bool anyInRect(int xlo, int ylo, int xhi, int yhi) const;
+
+  // In-place boolean ops; operands must have identical dimensions.
+  Bitmap& operator|=(const Bitmap& o);
+  Bitmap& operator&=(const Bitmap& o);
+  Bitmap& andNot(const Bitmap& o);
+  Bitmap& invert();
+
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+
+  bool operator==(const Bitmap& o) const = default;
+
+  /// Chebyshev dilation by radius r (square SE of edge 2r+1).
+  Bitmap dilated(int r) const;
+  /// Chebyshev erosion by radius r.
+  Bitmap eroded(int r) const;
+  /// Morphological closing: fills gaps of Chebyshev width <= 2r.
+  Bitmap closed(int r) const { return dilated(r).eroded(r); }
+  /// Morphological opening: removes features of Chebyshev width <= 2r.
+  Bitmap opened(int r) const { return eroded(r).dilated(r); }
+
+  const std::vector<std::uint8_t>& raw() const { return px_; }
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<std::uint8_t> px_;
+};
+
+/// True if any pixel of `b` within Chebyshev distance `r` of (x, y) is set.
+bool anyNear(const Bitmap& b, int x, int y, int r);
+
+/// Number of 4-connected components of set pixels.
+int componentCount(const Bitmap& b);
+
+/// Bounding boxes (half-open pixel coords) of the 4-connected components.
+std::vector<Rect> componentBoxes(const Bitmap& b);
+
+}  // namespace sadp

@@ -1,0 +1,461 @@
+#include "sadp/decompose.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sadp {
+
+OverlayReport& OverlayReport::operator+=(const OverlayReport& o) {
+  sideOverlayNm += o.sideOverlayNm;
+  sideOverlaySections += o.sideOverlaySections;
+  hardOverlays += o.hardOverlays;
+  tipOverlays += o.tipOverlays;
+  cutWidthConflicts += o.cutWidthConflicts;
+  cutSpaceConflicts += o.cutSpaceConflicts;
+  spacerOverTargetPx += o.spacerOverTargetPx;
+  return *this;
+}
+
+Rect fragmentMetalNm(const Fragment& f, const DesignRules& rules) {
+  const Nm p = rules.pitch();
+  const Nm s = (p - rules.wLine) / 2;
+  return Rect{Nm(f.xlo * p + s), Nm(f.ylo * p + s), Nm(f.xhi * p - s),
+              Nm(f.yhi * p - s)};
+}
+
+namespace {
+
+constexpr int kPxNm = 10;  ///< raster resolution
+
+struct Raster {
+  Rect windowNm;
+  int w = 0, h = 0;
+  int toX(Nm nm) const { return int((nm - windowNm.xlo) / kPxNm); }
+  int toY(Nm nm) const { return int((nm - windowNm.ylo) / kPxNm); }
+  void fill(Bitmap& b, const Rect& r) const {
+    b.fillRect(toX(r.xlo), toY(r.ylo), toX(r.xhi), toY(r.yhi));
+  }
+  bool anyTarget(const Bitmap& b, const Rect& r) const {
+    return b.anyInRect(toX(r.xlo), toY(r.ylo), toX(r.xhi), toY(r.yhi));
+  }
+};
+
+/// Erosion with a k x k structuring element anchored at the top-left.
+Bitmap erodeK(const Bitmap& in, int k) {
+  Bitmap out(in.width(), in.height());
+  for (int y = 0; y + k <= in.height(); ++y) {
+    for (int x = 0; x + k <= in.width(); ++x) {
+      bool all = true;
+      for (int dy = 0; dy < k && all; ++dy) {
+        for (int dx = 0; dx < k && all; ++dx) {
+          all = in.get(x + dx, y + dy);
+        }
+      }
+      out.set(x, y, all);
+    }
+  }
+  return out;
+}
+
+/// Dilation with the reflected k x k structuring element (opening partner).
+Bitmap dilateKReflected(const Bitmap& in, int k) {
+  Bitmap out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      if (!in.get(x, y)) continue;
+      out.fillRect(x, y, x + k, y + k);
+    }
+  }
+  return out;
+}
+
+/// One shape destined for the core mask: real (core-colored) metal or a
+/// sacrificial assistant-core strip.
+struct CoreShape {
+  Rect nm;
+  bool assist = false;
+};
+
+}  // namespace
+
+std::vector<Rect> rasterToNmRects(const Bitmap& b, const Rect& windowNm) {
+  std::vector<Rect> pxRects;
+  // Collect row runs, then merge vertically identical stacks.
+  struct Run {
+    int x0, x1, y0, y1;
+  };
+  std::vector<Run> open;
+  for (int y = 0; y <= b.height(); ++y) {
+    std::vector<std::pair<int, int>> runs;
+    if (y < b.height()) {
+      int x = 0;
+      while (x < b.width()) {
+        if (!b.get(x, y)) {
+          ++x;
+          continue;
+        }
+        int x2 = x;
+        while (x2 < b.width() && b.get(x2, y)) ++x2;
+        runs.emplace_back(x, x2);
+        x = x2;
+      }
+    }
+    std::vector<Run> next;
+    for (auto& [x0, x1] : runs) {
+      bool extended = false;
+      for (Run& r : open) {
+        if (r.y1 == y && r.x0 == x0 && r.x1 == x1) {
+          r.y1 = y + 1;
+          next.push_back(r);
+          r.y1 = -1;  // consumed
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) next.push_back({x0, x1, y, y + 1});
+    }
+    for (const Run& r : open) {
+      if (r.y1 >= 0) {
+        pxRects.push_back(Rect{r.x0, r.y0, r.x1, r.y1});
+      }
+    }
+    open = std::move(next);
+  }
+  std::vector<Rect> out;
+  out.reserve(pxRects.size());
+  for (const Rect& p : pxRects) {
+    out.push_back(Rect{Nm(windowNm.xlo + p.xlo * kPxNm),
+                       Nm(windowNm.ylo + p.ylo * kPxNm),
+                       Nm(windowNm.xlo + p.xhi * kPxNm),
+                       Nm(windowNm.ylo + p.yhi * kPxNm)});
+  }
+  return out;
+}
+
+namespace {
+
+/// Axis-gap box between two rects (their "merge bridge" region).
+Rect bridgeBox(const Rect& a, const Rect& b) {
+  const Nm bx0 = (a.xhi <= b.xlo)   ? a.xhi
+                 : (b.xhi <= a.xlo) ? b.xhi
+                                    : std::max(a.xlo, b.xlo);
+  const Nm bx1 = (a.xhi <= b.xlo)   ? b.xlo
+                 : (b.xhi <= a.xlo) ? a.xlo
+                                    : std::min(a.xhi, b.xhi);
+  const Nm by0 = (a.yhi <= b.ylo)   ? a.yhi
+                 : (b.yhi <= a.ylo) ? b.yhi
+                                    : std::max(a.ylo, b.ylo);
+  const Nm by1 = (a.yhi <= b.ylo)   ? b.ylo
+                 : (b.yhi <= a.ylo) ? a.ylo
+                                    : std::min(a.yhi, b.yhi);
+  return Rect{bx0, by0, bx1, by1};
+}
+
+}  // namespace
+
+LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
+                                  const DesignRules& rules,
+                                  const DecomposeOptions& opts) {
+  LayerDecomposition out;
+  // Window: bounding box of all metal plus margin, aligned to pixels.
+  Rect bbox;
+  for (const ColoredFragment& cf : frags) {
+    bbox = bbox.unionWith(fragmentMetalNm(cf.frag, rules));
+  }
+  if (bbox.empty()) bbox = Rect{0, 0, kPxNm, kPxNm};
+  const Nm margin = std::max<Nm>(opts.margin, rules.pitch());
+  bbox = bbox.inflated(margin);
+  bbox.xlo -= bbox.xlo % kPxNm;
+  bbox.ylo -= bbox.ylo % kPxNm;
+
+  Raster rr;
+  rr.windowNm = bbox;
+  rr.w = int((bbox.xhi - bbox.xlo + kPxNm - 1) / kPxNm);
+  rr.h = int((bbox.yhi - bbox.ylo + kPxNm - 1) / kPxNm);
+  out.windowNm = bbox;
+
+  const int spacerPx = rules.wSpacer / kPxNm;
+  const int wCutPx = rules.wCut / kPxNm;
+  const int dCutPx = rules.dCut / kPxNm;
+
+  // ---- Step 1: target metal and real core shapes ---------------------------
+  Bitmap target(rr.w, rr.h), coreRaw(rr.w, rr.h);
+  std::vector<CoreShape> shapes;
+  for (const ColoredFragment& cf : frags) {
+    const Rect m = fragmentMetalNm(cf.frag, rules);
+    rr.fill(target, m);
+    if (cf.color != Color::Second) {
+      rr.fill(coreRaw, m);
+      shapes.push_back({m, /*assist=*/false});
+    }
+  }
+
+  // ---- Step 2: assistant core strips ---------------------------------------
+  // Every second pattern gets a w_core-wide strip at w_spacer distance along
+  // each side. Stub (square) fragments are fully ringed with four strips so
+  // their boundaries are spacer-defined too.
+  Bitmap assists(rr.w, rr.h);
+  if (opts.insertAssists) {
+    for (const ColoredFragment& cf : frags) {
+      if (cf.color != Color::Second) continue;
+      const Fragment& f = cf.frag;
+      const Rect m = fragmentMetalNm(f, rules);
+      const Nm off = rules.wSpacer;
+      const Nm ow = rules.wCore;
+      const bool stub = f.width() == f.height();
+      std::vector<Rect> strips;
+      // Stubs are ringed on all four sides; the ring's corner strips merge
+      // (total-loss rule below), which nibbles the stub corners slightly --
+      // the corner-rounding reality of a conformal spacer.
+      if (stub || f.orient() == Orient::Horizontal) {
+        strips.push_back({m.xlo, m.yhi + off, m.xhi, m.yhi + off + ow});
+        strips.push_back({m.xlo, m.ylo - off - ow, m.xhi, m.ylo - off});
+      }
+      if (stub || f.orient() == Orient::Vertical) {
+        strips.push_back({m.xhi + off, m.ylo, m.xhi + off + ow, m.yhi});
+        strips.push_back({m.xlo - off - ow, m.ylo, m.xlo - off, m.yhi});
+      }
+      for (const Rect& s : strips) rr.fill(assists, s);
+    }
+    // Core material must keep >= w_spacer clearance from every metal shape
+    // (its own wire sits at exactly w_spacer, so only foreign metal clips);
+    // otherwise the assist's spacer would eat the neighboring pattern.
+    assists.andNot(target.dilated(spacerPx));
+    for (const Rect& s : rasterToNmRects(assists, rr.windowNm)) {
+      shapes.push_back({s, /*assist=*/true});
+    }
+  }
+
+  // ---- Step 3: merge technique / assist trimming ---------------------------
+  // Core-mask shapes closer than d_core cannot print separately. Two real
+  // metal shapes (or metal + assist) are merged by filling the gap between
+  // them (Fig. 2); the separating cut then re-opens the bridge, which is
+  // what produces the scenario overlays. When a merge involving a
+  // sacrificial assist would push spacer material onto third-party metal,
+  // the assist is trimmed back instead (locally sacrificing protection --
+  // the resulting exposure is measured as overlay).
+  Bitmap bridges(rr.w, rr.h);
+  Bitmap trims(rr.w, rr.h);
+  if (opts.mergeCores) {
+    const std::int64_t dCoreSq = std::int64_t(rules.dCore) * rules.dCore;
+    SpatialHash shapeIndex(/*pitch=*/256);
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      shapeIndex.insert(shapes[i].nm, std::uint32_t(i));
+    }
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      const Rect window = shapes[i].nm.inflated(rules.dCore);
+      std::vector<std::uint32_t> near;
+      shapeIndex.query(window, [&](const Rect&, std::uint32_t j) {
+        if (j > i) near.push_back(j);
+      });
+      for (std::uint32_t j : near) {
+        const CoreShape& a = shapes[i];
+        const CoreShape& b = shapes[j];
+        const std::int64_t d2 = distSq(a.nm, b.nm);
+        if (d2 == 0 || d2 >= dCoreSq) continue;
+        const Rect box = bridgeBox(a.nm, b.nm);
+        // Merging is harmful only when the merged blob's spacer would land
+        // on THIRD-party metal; the pair's own shapes are exempt (the cut
+        // re-opening the bridge against them is the normal merge overlay).
+        const Rect probe = box.inflated(rules.wSpacer);
+        bool harmless = true;
+        for (Nm py = probe.ylo; py < probe.yhi && harmless; py += kPxNm) {
+          for (Nm px = probe.xlo; px < probe.xhi && harmless; px += kPxNm) {
+            const Pt c{px + kPxNm / 2, py + kPxNm / 2};
+            if (a.nm.contains(c) || b.nm.contains(c)) continue;
+            if (target.get(rr.toX(px), rr.toY(py))) harmless = false;
+          }
+        }
+        // Trim reach is rounded up to 2*w_spacer so the remaining assist
+        // end keeps the layout on the w_spacer lattice (a d_core trim would
+        // leave sub-w_cut cut slivers between the spacers).
+        const Nm reach = std::max<Nm>(rules.dCore, 2 * rules.wSpacer);
+        const Rect trimA =
+            a.assist ? b.nm.inflated(reach).intersect(a.nm) : Rect{};
+        const Rect trimB =
+            b.assist ? a.nm.inflated(reach).intersect(b.nm) : Rect{};
+        // A trim that would erase an assist completely (typical for the
+        // tiny strips of a stub ring) loses more protection than the merge
+        // damages: prefer the merge and accept the corner nibble.
+        const bool totalLoss =
+            (a.assist && trimA == a.nm) || (b.assist && trimB == b.nm);
+        if ((!a.assist && !b.assist) || harmless || totalLoss ||
+            !opts.trimAssists) {
+          rr.fill(bridges, box);
+        } else {
+          if (a.assist) rr.fill(trims, trimA);
+          if (b.assist) rr.fill(trims, trimB);
+        }
+      }
+    }
+    bridges.andNot(target);  // a bridge never overrides foreign metal
+  }
+
+  assists.andNot(trims);
+  Bitmap coreMask = coreRaw | assists | bridges;
+
+  // ---- Step 4: spacer ring --------------------------------------------------
+  Bitmap spacerRaw = coreMask.dilated(spacerPx);
+  spacerRaw.andNot(coreMask);
+  Bitmap eaten = spacerRaw;  // spacer intruding into metal: CD damage
+  eaten &= target;
+  out.report.spacerOverTargetPx = std::int64_t(eaten.count());
+  Bitmap spacer = spacerRaw;
+  spacer.andNot(target);
+
+  // ---- Step 5: cut mask (spacer-is-dielectric complement) -------------------
+  Bitmap cut(rr.w, rr.h);
+  cut.fillRect(0, 0, rr.w, rr.h);
+  cut.andNot(spacer);
+  cut.andNot(target);
+
+  // ---- Step 6: overlay metering ---------------------------------------------
+  // A boundary pixel is unprotected when the outside pixel is cut-defined
+  // or when the spacer intruded into the metal there (eaten edge).
+  auto unprotectedAt = [&](int ix, int iy, int ox, int oy) {
+    return cut.get(ox, oy) || eaten.get(ix, iy);
+  };
+
+  for (const ColoredFragment& cf : frags) {
+    const Fragment& f = cf.frag;
+    const Rect m = fragmentMetalNm(f, rules);
+    const int xlo = rr.toX(m.xlo), xhi = rr.toX(m.xhi);
+    const int ylo = rr.toY(m.ylo), yhi = rr.toY(m.yhi);
+    const bool stub = f.width() == f.height();
+    const bool horiz = f.orient() == Orient::Horizontal;
+
+    // Walks one boundary line; `sidewall` = true for the two long sides.
+    auto walk = [&](bool sidewall, int outFixed, int inFixed, int lo, int hi,
+                    bool vertEdge) {
+      int run = 0;
+      int runEnd = lo;
+      bool tipHit = false;
+      auto flush = [&]() {
+        if (run == 0) return;
+        if (sidewall) {
+          ++out.report.sideOverlaySections;
+          out.report.sideOverlayNm += std::int64_t(run) * kPxNm;
+          if (run * kPxNm > rules.wLine) {
+            ++out.report.hardOverlays;
+            const int t0 = runEnd - run, t1 = runEnd;
+            const Rect boxPx = vertEdge
+                                   ? Rect{inFixed, t0, inFixed + 1, t1}
+                                   : Rect{t0, inFixed, t1, inFixed + 1};
+            out.hardOverlayBoxesNm.push_back(
+                Rect{Nm(rr.windowNm.xlo + boxPx.xlo * kPxNm),
+                     Nm(rr.windowNm.ylo + boxPx.ylo * kPxNm),
+                     Nm(rr.windowNm.xlo + boxPx.xhi * kPxNm),
+                     Nm(rr.windowNm.ylo + boxPx.yhi * kPxNm)});
+          }
+        } else {
+          tipHit = true;
+        }
+        run = 0;
+      };
+      for (int t = lo; t < hi; ++t) {
+        const int ox = vertEdge ? outFixed : t;
+        const int oy = vertEdge ? t : outFixed;
+        const int ix = vertEdge ? inFixed : t;
+        const int iy = vertEdge ? t : inFixed;
+        if (target.get(ox, oy)) {  // interior edge (same-net abutment)
+          flush();
+          continue;
+        }
+        if (unprotectedAt(ix, iy, ox, oy)) {
+          ++run;
+          runEnd = t + 1;
+        } else {
+          flush();
+        }
+      }
+      flush();
+      if (!sidewall && tipHit) ++out.report.tipOverlays;
+    };
+
+    const bool topBottomAreSides = horiz && !stub;
+    const bool leftRightAreSides = !horiz && !stub;
+    walk(topBottomAreSides, yhi, yhi - 1, xlo, xhi, false);   // top
+    walk(topBottomAreSides, ylo - 1, ylo, xlo, xhi, false);   // bottom
+    walk(leftRightAreSides, xhi, xhi - 1, ylo, yhi, true);    // right
+    walk(leftRightAreSides, xlo - 1, xlo, ylo, yhi, true);    // left
+  }
+
+  // ---- Step 7: cut-mask MRC over target (Fig. 5 / §III-D) -------------------
+  // Width: cut pixels through which no w_cut x w_cut square fits, flagged
+  // when they define a target edge (Chebyshev distance 1 from target).
+  {
+    Bitmap opened = dilateKReflected(erodeK(cut, wCutPx), wCutPx);
+    Bitmap narrow = cut;
+    narrow.andNot(opened);
+    Bitmap flagged(rr.w, rr.h);
+    for (int y = 0; y < rr.h; ++y) {
+      for (int x = 0; x < rr.w; ++x) {
+        if (narrow.get(x, y) && anyNear(target, x, y, 1)) {
+          flagged.set(x, y);
+        }
+      }
+    }
+    const auto boxes = componentBoxes(flagged);
+    out.report.cutWidthConflicts = int(boxes.size());
+    for (const Rect& b : boxes) {
+      out.conflictBoxesNm.push_back(
+          Rect{Nm(rr.windowNm.xlo + b.xlo * kPxNm),
+               Nm(rr.windowNm.ylo + b.ylo * kPxNm),
+               Nm(rr.windowNm.xlo + b.xhi * kPxNm),
+               Nm(rr.windowNm.ylo + b.yhi * kPxNm)});
+    }
+  }
+  // Spacing: axis-aligned cut-gap-cut patterns with gap < d_cut where the
+  // gap crosses target metal (two cut patterns defining opposite sides of
+  // a feature, Fig. 15(b)).
+  {
+    Bitmap flagged(rr.w, rr.h);
+    auto scan = [&](bool rows) {
+      const int outer = rows ? rr.h : rr.w;
+      const int inner = rows ? rr.w : rr.h;
+      for (int o = 0; o < outer; ++o) {
+        int lastCutEnd = -1;  // index just past the previous cut run
+        int i = 0;
+        while (i < inner) {
+          const int x = rows ? i : o;
+          const int y = rows ? o : i;
+          if (!cut.get(x, y)) {
+            ++i;
+            continue;
+          }
+          // Start of a cut run at i.
+          if (lastCutEnd >= 0 && i - lastCutEnd < dCutPx && i > lastCutEnd) {
+            for (int g = lastCutEnd; g < i; ++g) {
+              const int gx = rows ? g : o;
+              const int gy = rows ? o : g;
+              if (target.get(gx, gy)) flagged.set(gx, gy);
+            }
+          }
+          while (i < inner && cut.get(rows ? i : o, rows ? o : i)) ++i;
+          lastCutEnd = i;
+        }
+      }
+    };
+    scan(true);
+    scan(false);
+    const auto boxes = componentBoxes(flagged);
+    out.report.cutSpaceConflicts = int(boxes.size());
+    for (const Rect& b : boxes) {
+      out.conflictBoxesNm.push_back(
+          Rect{Nm(rr.windowNm.xlo + b.xlo * kPxNm),
+               Nm(rr.windowNm.ylo + b.ylo * kPxNm),
+               Nm(rr.windowNm.xlo + b.xhi * kPxNm),
+               Nm(rr.windowNm.ylo + b.yhi * kPxNm)});
+    }
+  }
+
+  out.target = std::move(target);
+  out.coreMask = std::move(coreMask);
+  out.spacer = std::move(spacer);
+  out.cut = std::move(cut);
+  out.assists = std::move(assists);
+  out.bridges = std::move(bridges);
+  return out;
+}
+
+}  // namespace sadp

@@ -1,0 +1,100 @@
+// SADP cut-process mask synthesis and physical verification (ground truth).
+//
+// Given the colored wire fragments of one routing layer, this module
+// constructs the actual masks of the cut process (paper Fig. 1(b)):
+//
+//   core mask  = core-colored metal + assistant core patterns, with shapes
+//                closer than d_core merged (the merge technique, Fig. 2)
+//   spacer     = w_spacer ring grown around every core-mask shape
+//   cut mask   = everything that is neither spacer nor target metal
+//                (spacer-is-dielectric: final metal = NOT spacer AND NOT cut)
+//
+// and then *measures* the result like a sign-off deck would:
+//   - side overlays: side-boundary sections of target metal defined by the
+//     cut mask instead of a spacer (hard if longer than w_line),
+//   - tip overlays: cut-defined line ends (non-critical),
+//   - cut conflicts: cut-mask MRC violations (min width w_cut, min space
+//     d_cut) that occur over a target pattern (violations over spacers are
+//     benign, Fig. 5).
+//
+// This is the arbiter for the scenario cost table: the constraint graph
+// predicts overlays; this module measures them on real mask geometry.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/design_rules.hpp"
+#include "ocg/scenario.hpp"
+#include "sadp/bitmap.hpp"
+
+namespace sadp {
+
+/// One colored wire fragment to decompose.
+struct ColoredFragment {
+  Fragment frag;
+  Color color = Color::Core;
+};
+
+/// Physical measurement of one decomposed layer.
+struct OverlayReport {
+  std::int64_t sideOverlayNm = 0;   ///< total side-overlay length
+  int sideOverlaySections = 0;      ///< contiguous unprotected side sections
+  int hardOverlays = 0;             ///< sections longer than w_line
+  int tipOverlays = 0;              ///< unprotected line ends
+  int cutWidthConflicts = 0;        ///< sub-w_cut cut features over target
+  int cutSpaceConflicts = 0;        ///< sub-d_cut cut gaps over target
+  std::int64_t spacerOverTargetPx = 0;  ///< spacer eating metal (must be 0)
+
+  int cutConflicts() const { return cutWidthConflicts + cutSpaceConflicts; }
+  /// Side-overlay length in units of w_line (the paper's unit).
+  std::int64_t sideOverlayUnits(const DesignRules& r) const {
+    return sideOverlayNm / r.wLine;
+  }
+
+  OverlayReport& operator+=(const OverlayReport& o);
+};
+
+/// Masks plus measurement for one layer.
+struct LayerDecomposition {
+  Bitmap target;   ///< final metal
+  Bitmap coreMask; ///< core + assistant cores after merging
+  Bitmap spacer;   ///< grown spacer ring
+  Bitmap cut;      ///< cut mask
+  Bitmap assists;  ///< assistant-core material (after clipping/trimming)
+  Bitmap bridges;  ///< merge-technique bridge fills
+  /// nm bounding boxes of each cut-conflict region (width and space).
+  std::vector<Rect> conflictBoxesNm;
+  /// nm bounding boxes of each hard (longer than w_line) side overlay.
+  std::vector<Rect> hardOverlayBoxesNm;
+  OverlayReport report;
+  Rect windowNm;   ///< nm box the rasters cover
+  int pxPerNm10 = 1;  ///< raster resolution: 1 px = 10 nm
+};
+
+struct DecomposeOptions {
+  bool insertAssists = true;  ///< grow assistant cores for second patterns
+  bool mergeCores = true;     ///< apply the merge technique
+  /// Overlay-aware assist trimming: when a merge involving a sacrificial
+  /// assist would damage third-party metal, trim the assist instead.
+  /// Disabled to reconstruct routers that merge assists without overlay
+  /// control ([16], Fig. 22).
+  bool trimAssists = true;
+  Nm margin = 120;            ///< nm of empty field kept around the window
+};
+
+/// Synthesizes and measures one layer. Fragments are in track coordinates
+/// under `rules` (pitch = w_line + w_spacer); colors Unassigned default to
+/// Core. The raster window is the fragments' bounding box plus margin.
+LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
+                                  const DesignRules& rules,
+                                  const DecomposeOptions& opts = {});
+
+/// Metal rectangle (nm) of a fragment under the given rules.
+Rect fragmentMetalNm(const Fragment& f, const DesignRules& rules);
+
+/// Maximal-rectangle decomposition of a raster region (row slabs merged
+/// vertically), returned in nm using the window the raster covers.
+std::vector<Rect> rasterToNmRects(const Bitmap& b, const Rect& windowNm);
+
+}  // namespace sadp

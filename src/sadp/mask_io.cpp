@@ -1,0 +1,96 @@
+#include "sadp/mask_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sadp {
+
+const char* toString(MaskLevel level) {
+  switch (level) {
+    case MaskLevel::Target:
+      return "target";
+    case MaskLevel::CoreMask:
+      return "core";
+    case MaskLevel::Spacer:
+      return "spacer";
+    case MaskLevel::CutMask:
+      return "cut";
+  }
+  return "?";
+}
+
+namespace {
+
+MaskLevel parseLevel(const std::string& s) {
+  if (s == "target") return MaskLevel::Target;
+  if (s == "core") return MaskLevel::CoreMask;
+  if (s == "spacer") return MaskLevel::Spacer;
+  if (s == "cut") return MaskLevel::CutMask;
+  throw std::runtime_error("readMasks: unknown mask level '" + s + "'");
+}
+
+const Bitmap& levelBitmap(const LayerDecomposition& d, MaskLevel level) {
+  switch (level) {
+    case MaskLevel::Target:
+      return d.target;
+    case MaskLevel::CoreMask:
+      return d.coreMask;
+    case MaskLevel::Spacer:
+      return d.spacer;
+    case MaskLevel::CutMask:
+      return d.cut;
+  }
+  return d.target;
+}
+
+}  // namespace
+
+std::vector<Rect> extractMaskRects(const LayerDecomposition& d,
+                                   MaskLevel level) {
+  return rasterToNmRects(levelBitmap(d, level), d.windowNm);
+}
+
+void writeMasks(std::ostream& os, const LayerDecomposition& d, int layer) {
+  std::vector<std::pair<MaskLevel, Rect>> all;
+  for (MaskLevel level : {MaskLevel::Target, MaskLevel::CoreMask,
+                          MaskLevel::Spacer, MaskLevel::CutMask}) {
+    for (const Rect& r : extractMaskRects(d, level)) {
+      all.emplace_back(level, r);
+    }
+  }
+  os << "sadp-masks v1 " << layer << ' ' << all.size() << "\n";
+  for (const auto& [level, r] : all) {
+    os << toString(level) << ' ' << r.xlo << ' ' << r.ylo << ' ' << r.xhi
+       << ' ' << r.yhi << "\n";
+  }
+}
+
+std::vector<Rect> MaskFile::level(MaskLevel l) const {
+  std::vector<Rect> out;
+  for (const auto& [level, r] : rects) {
+    if (level == l) out.push_back(r);
+  }
+  return out;
+}
+
+MaskFile readMasks(std::istream& is) {
+  std::string magic, version;
+  MaskFile f;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> f.layer >> count) ||
+      magic != "sadp-masks" || version != "v1") {
+    throw std::runtime_error("readMasks: bad header");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string level;
+    Rect r;
+    if (!(is >> level >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
+      throw std::runtime_error("readMasks: truncated record");
+    }
+    f.rects.emplace_back(parseLevel(level), r);
+  }
+  return f;
+}
+
+}  // namespace sadp

@@ -1,0 +1,39 @@
+// Mask export: extracts the synthesized mask layers as rectangle lists and
+// writes them in a simple text format a downstream tool (or test) can read
+// back. Rect extraction reuses the raster slab decomposition, so the
+// rectangles exactly cover the pixel geometry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+
+/// Named mask levels of one decomposed layer.
+enum class MaskLevel : std::uint8_t { Target, CoreMask, Spacer, CutMask };
+
+const char* toString(MaskLevel level);
+
+/// Rectangles (nm) exactly covering one mask level of a decomposition.
+std::vector<Rect> extractMaskRects(const LayerDecomposition& d,
+                                   MaskLevel level);
+
+/// Writes all four mask levels as "level xlo ylo xhi yhi" lines with a
+/// small header ("sadp-masks v1 <layer> <rect-count>").
+void writeMasks(std::ostream& os, const LayerDecomposition& d, int layer);
+
+/// Parsed form of the writeMasks output.
+struct MaskFile {
+  int layer = 0;
+  std::vector<std::pair<MaskLevel, Rect>> rects;
+
+  std::vector<Rect> level(MaskLevel l) const;
+};
+
+/// Parses the writeMasks format; throws std::runtime_error on bad input.
+MaskFile readMasks(std::istream& is);
+
+}  // namespace sadp

@@ -1,0 +1,98 @@
+#include "sadp/svg.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sadp {
+
+namespace {
+
+constexpr int kPxNm = 10;
+
+void rect(std::ostream& os, double x, double y, double w, double h,
+          const char* fill, double opacity = 1.0) {
+  os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+     << "\" height=\"" << h << "\" fill=\"" << fill << "\" fill-opacity=\""
+     << opacity << "\"/>\n";
+}
+
+/// Emits every set pixel of a bitmap as row-run rectangles.
+void emitBitmapRuns(std::ostream& os, const Bitmap& b, double s,
+                    const char* fill, double opacity) {
+  for (int y = 0; y < b.height(); ++y) {
+    int x = 0;
+    while (x < b.width()) {
+      if (!b.get(x, y)) {
+        ++x;
+        continue;
+      }
+      int x2 = x;
+      while (x2 < b.width() && b.get(x2, y)) ++x2;
+      rect(os, x * s, (b.height() - 1 - y) * s, (x2 - x) * s, s, fill,
+           opacity);
+      x = x2;
+    }
+  }
+}
+
+}  // namespace
+
+void writeLayerSvg(std::ostream& os, const LayerDecomposition& layer,
+                   std::span<const ColoredFragment> frags,
+                   const DesignRules& rules, const SvgOptions& opts) {
+  const double s = opts.scale;
+  const int W = layer.target.width();
+  const int H = layer.target.height();
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W * s
+     << "\" height=\"" << H * s << "\" viewBox=\"0 0 " << W * s << " "
+     << H * s << "\">\n";
+  rect(os, 0, 0, W * s, H * s, "#ffffff");
+
+  if (opts.drawCut) emitBitmapRuns(os, layer.cut, s, "#f2d0d0", 0.5);
+  if (opts.drawSpacer) emitBitmapRuns(os, layer.spacer, s, "#c8c8c8", 0.8);
+  if (opts.drawCoreMask) {
+    // Assist material = core mask minus target metal.
+    Bitmap assist = layer.coreMask;
+    assist.andNot(layer.target);
+    emitBitmapRuns(os, assist, s, "#e0b050", 0.7);
+  }
+
+  // Target metal colored by mask assignment.
+  for (const ColoredFragment& cf : frags) {
+    const Rect m = fragmentMetalNm(cf.frag, rules);
+    const double x = double(m.xlo - layer.windowNm.xlo) / kPxNm * s;
+    const double yTopPx = double(layer.windowNm.yhi - m.yhi) / kPxNm * s;
+    const char* fill = cf.color == Color::Second ? "#3d9943" : "#2b5fad";
+    rect(os, x, yTopPx, double(m.width()) / kPxNm * s,
+         double(m.height()) / kPxNm * s, fill, 0.95);
+  }
+
+  if (opts.drawOverlays) {
+    // Overlay highlight: target boundary pixels whose outside is cut.
+    const Bitmap& t = layer.target;
+    const Bitmap& c = layer.cut;
+    for (int y = 0; y < H; ++y) {
+      for (int x = 0; x < W; ++x) {
+        if (!t.get(x, y)) continue;
+        const bool exposed = c.get(x + 1, y) || c.get(x - 1, y) ||
+                             c.get(x, y + 1) || c.get(x, y - 1);
+        if (exposed) {
+          rect(os, x * s, (H - 1 - y) * s, s, s, "#d03030", 0.9);
+        }
+      }
+    }
+  }
+  os << "</svg>\n";
+}
+
+void writeLayerSvgFile(const std::string& path,
+                       const LayerDecomposition& layer,
+                       std::span<const ColoredFragment> frags,
+                       const DesignRules& rules, const SvgOptions& opts) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open SVG output: " + path);
+  writeLayerSvg(f, layer, frags, rules, opts);
+}
+
+}  // namespace sadp

@@ -1,0 +1,33 @@
+// Deterministic SVG rendering of routed layouts and synthesized masks
+// (used to regenerate the qualitative Figs. 21/22 artifacts).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+
+struct SvgOptions {
+  double scale = 0.4;        ///< SVG units per nm... pixels per 10nm px
+  bool drawCoreMask = true;
+  bool drawSpacer = true;
+  bool drawCut = false;      ///< cut is the field complement; off by default
+  bool drawOverlays = true;  ///< highlight unprotected side boundaries
+};
+
+/// Renders one decomposed layer: target metal colored by assignment
+/// (core = blue, second = green), spacers grey, assist regions hatched,
+/// overlay sections red.
+void writeLayerSvg(std::ostream& os, const LayerDecomposition& layer,
+                   std::span<const ColoredFragment> frags,
+                   const DesignRules& rules, const SvgOptions& opts = {});
+
+/// Convenience: writes straight to a file path.
+void writeLayerSvgFile(const std::string& path, const LayerDecomposition& layer,
+                       std::span<const ColoredFragment> frags,
+                       const DesignRules& rules, const SvgOptions& opts = {});
+
+}  // namespace sadp

@@ -1,0 +1,129 @@
+#include "sadp/trim.hpp"
+
+#include <algorithm>
+
+namespace sadp {
+
+namespace {
+constexpr int kPxNm = 10;
+}  // namespace
+
+TrimDecomposition decomposeTrimLayer(std::span<const ColoredFragment> frags,
+                                     const DesignRules& rules, Nm margin) {
+  TrimDecomposition out;
+  Rect bbox;
+  for (const ColoredFragment& cf : frags) {
+    bbox = bbox.unionWith(fragmentMetalNm(cf.frag, rules));
+  }
+  if (bbox.empty()) bbox = Rect{0, 0, kPxNm, kPxNm};
+  bbox = bbox.inflated(std::max<Nm>(margin, rules.pitch()));
+  bbox.xlo -= bbox.xlo % kPxNm;
+  bbox.ylo -= bbox.ylo % kPxNm;
+  out.windowNm = bbox;
+  const int w = int((bbox.xhi - bbox.xlo + kPxNm - 1) / kPxNm);
+  const int h = int((bbox.yhi - bbox.ylo + kPxNm - 1) / kPxNm);
+  auto toX = [&](Nm nm) { return int((nm - bbox.xlo) / kPxNm); };
+  auto toY = [&](Nm nm) { return int((nm - bbox.ylo) / kPxNm); };
+
+  Bitmap target(w, h), core(w, h), trim(w, h);
+  struct Shape {
+    Rect nm;
+    NetId net;
+    bool isCore;
+  };
+  std::vector<Shape> shapes;
+  for (const ColoredFragment& cf : frags) {
+    const Rect m = fragmentMetalNm(cf.frag, rules);
+    target.fillRect(toX(m.xlo), toY(m.ylo), toX(m.xhi), toY(m.yhi));
+    const bool isCore = cf.color != Color::Second;
+    (isCore ? core : trim)
+        .fillRect(toX(m.xlo), toY(m.ylo), toX(m.xhi), toY(m.yhi));
+    shapes.push_back({m, cf.frag.net, isCore});
+  }
+
+  // Spacer: conformal ring around core shapes; never over metal.
+  Bitmap spacer = core.dilated(rules.wSpacer / kPxNm);
+  spacer.andNot(core);
+  spacer.andNot(target);
+
+  // ---- Overlay metering: trim-opening boundaries not abutting spacer ----
+  for (const ColoredFragment& cf : frags) {
+    if (cf.color != Color::Second) continue;
+    const Fragment& f = cf.frag;
+    const Rect m = fragmentMetalNm(f, rules);
+    const int xlo = toX(m.xlo), xhi = toX(m.xhi);
+    const int ylo = toY(m.ylo), yhi = toY(m.yhi);
+    const bool stub = f.width() == f.height();
+    const bool horiz = f.orient() == Orient::Horizontal;
+
+    auto walk = [&](bool sidewall, int outFixed, int lo, int hi,
+                    bool vertEdge) {
+      int run = 0;
+      bool tipHit = false;
+      auto flush = [&]() {
+        if (run == 0) return;
+        if (sidewall) {
+          ++out.report.sideOverlaySections;
+          out.report.sideOverlayNm += std::int64_t(run) * kPxNm;
+          if (run * kPxNm > rules.wLine) ++out.report.hardOverlays;
+        } else {
+          tipHit = true;
+        }
+        run = 0;
+      };
+      for (int t = lo; t < hi; ++t) {
+        const int ox = vertEdge ? outFixed : t;
+        const int oy = vertEdge ? t : outFixed;
+        if (target.get(ox, oy)) {
+          flush();
+          continue;
+        }
+        if (!spacer.get(ox, oy)) {
+          ++run;  // trim-defined boundary
+        } else {
+          flush();
+        }
+      }
+      flush();
+      if (!sidewall && tipHit) ++out.report.tipOverlays;
+    };
+    walk(horiz && !stub, yhi, xlo, xhi, false);
+    walk(horiz && !stub, ylo - 1, xlo, xhi, false);
+    walk(!horiz && !stub, xhi, ylo, yhi, true);
+    walk(!horiz && !stub, xlo - 1, ylo, yhi, true);
+  }
+
+  // ---- Mask MRC: pairwise spacing over different nets --------------------
+  const std::int64_t dCutSq = std::int64_t(rules.dCut) * rules.dCut;
+  const std::int64_t dCoreSq = std::int64_t(rules.dCore) * rules.dCore;
+  SpatialHash index(256);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    index.insert(shapes[i].nm, std::uint32_t(i));
+  }
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Rect window = shapes[i].nm.inflated(rules.dCore);
+    index.query(window, [&](const Rect&, std::uint32_t j) {
+      if (j <= i) return;
+      const Shape& a = shapes[i];
+      const Shape& b = shapes[j];
+      if (a.net == b.net) return;
+      if (a.isCore != b.isCore) return;  // opposite masks never conflict
+      const std::int64_t d2 = distSq(a.nm, b.nm);
+      if (d2 == 0) return;
+      if (a.isCore) {
+        // Core mask: no merge technique in the trim process.
+        if (d2 < dCoreSq) ++out.report.coreSpaceConflicts;
+      } else {
+        if (d2 < dCutSq) ++out.report.trimSpaceConflicts;
+      }
+    });
+  }
+
+  out.target = std::move(target);
+  out.coreMask = std::move(core);
+  out.spacer = std::move(spacer);
+  out.trimMask = std::move(trim);
+  return out;
+}
+
+}  // namespace sadp

@@ -1,0 +1,52 @@
+// SADP trim-process decomposition (paper Fig. 1(c)) -- the process the
+// baselines [10] and [11] target.
+//
+// In the trim process the final metal is the region NOT covered by spacer
+// but COVERED by the trim mask: core patterns print from the core mask
+// (ringed by spacers), second patterns are openings of the trim mask.
+// Unlike the cut process there is no merge technique: two patterns closer
+// than the coloring distance simply cannot be printed (odd cycles are
+// undecomposable), and every second-pattern boundary not abutting a spacer
+// is defined by the trim mask -- an overlay.
+//
+// Differences from the cut-process synthesizer that matter for metrics:
+//   - no assistant cores, no merging/bridging;
+//   - "trim conflicts" (the #C column of Table III for [11]) are minimum
+//     spacing violations between trim openings of different patterns
+//     (classically at parallel line ends) and unmergeable sub-d_core core
+//     pairs.
+#pragma once
+
+#include <span>
+
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+
+struct TrimReport {
+  std::int64_t sideOverlayNm = 0;  ///< trim-defined side boundary length
+  int sideOverlaySections = 0;
+  int hardOverlays = 0;            ///< sections longer than w_line
+  int tipOverlays = 0;
+  int trimSpaceConflicts = 0;      ///< trim openings closer than d_cut
+  int coreSpaceConflicts = 0;      ///< unmergeable sub-d_core core pairs
+
+  int conflicts() const { return trimSpaceConflicts + coreSpaceConflicts; }
+};
+
+struct TrimDecomposition {
+  Bitmap target;
+  Bitmap coreMask;
+  Bitmap spacer;
+  Bitmap trimMask;  ///< openings that print the second patterns
+  TrimReport report;
+  Rect windowNm;
+};
+
+/// Synthesizes and measures one layer under the trim process. Fragment
+/// colors map Core -> core mask, Second -> trim opening.
+TrimDecomposition decomposeTrimLayer(std::span<const ColoredFragment> frags,
+                                     const DesignRules& rules,
+                                     Nm margin = 120);
+
+}  // namespace sadp

@@ -1,0 +1,74 @@
+// Tests for the A* engine's many-target (tree) mode used by the Steiner
+// extension, plus target-stamp epoch isolation.
+#include <gtest/gtest.h>
+
+#include "route/astar.hpp"
+
+namespace sadp {
+namespace {
+
+TEST(AStarTargets, RoutesToNearestTreeNode) {
+  RoutingGrid grid(30, 30, 1, DesignRules{});
+  AStarEngine eng(grid);
+  // A long "tree": the whole row 20.
+  std::vector<GridNode> tree;
+  for (Track x = 0; x < 30; ++x) tree.push_back({x, 20, 0});
+  const GridNode s{7, 2, 0};
+  auto res = eng.route(1, {&s, 1}, tree, AStarParams{});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->path.back().y, 20);
+  // Dijkstra fallback still finds the shortest connection: straight up.
+  EXPECT_EQ(res->path.back().x, 7);
+  EXPECT_EQ(res->path.size(), 19u);
+}
+
+TEST(AStarTargets, TargetStampsDoNotLeakAcrossQueries) {
+  RoutingGrid grid(20, 20, 1, DesignRules{});
+  AStarEngine eng(grid);
+  // First query targets the whole row 10.
+  std::vector<GridNode> row;
+  for (Track x = 0; x < 20; ++x) row.push_back({x, 10, 0});
+  const GridNode s1{0, 0, 0};
+  ASSERT_TRUE(eng.route(1, {&s1, 1}, row, AStarParams{}).has_value());
+  // Second query targets a single far node; stale row-10 stamps must not
+  // terminate the search early.
+  const GridNode s2{0, 0, 0}, t2{19, 19, 0};
+  auto res = eng.route(1, {&s2, 1}, {&t2, 1}, AStarParams{});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->path.back(), t2);
+}
+
+TEST(AStarTargets, SourceOnTreeIsImmediateHit) {
+  RoutingGrid grid(10, 10, 1, DesignRules{});
+  AStarEngine eng(grid);
+  const GridNode n{4, 4, 0};
+  auto res = eng.route(1, {&n, 1}, {&n, 1}, AStarParams{});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->path.size(), 1u);
+  EXPECT_DOUBLE_EQ(res->cost, 0.0);
+}
+
+TEST(AStarTargets, ManyTargetsStillRespectOccupancy) {
+  RoutingGrid grid(20, 20, 1, DesignRules{});
+  // Fence off the bottom half except one door.
+  for (Track x = 0; x < 20; ++x) {
+    if (x != 15) grid.block({x, 10, 0});
+  }
+  std::vector<GridNode> tree;
+  for (Track x = 0; x < 20; ++x) tree.push_back({x, 18, 0});
+  AStarEngine eng(grid);
+  const GridNode s{2, 2, 0};
+  auto res = eng.route(1, {&s, 1}, tree, AStarParams{});
+  ASSERT_TRUE(res.has_value());
+  bool throughDoor = false;
+  for (const GridNode& n : res->path) {
+    if (n.y == 10) {
+      EXPECT_EQ(n.x, 15);
+      throughDoor = true;
+    }
+  }
+  EXPECT_TRUE(throughDoor);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,89 @@
+// Tests for the baseline reconstructions: each must run end-to-end and
+// exhibit the qualitative relationship to the proposed router that the
+// paper reports.
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/benchmark.hpp"
+
+namespace sadp {
+namespace {
+
+BenchmarkInstance smallInstance(const char* name = "Test1",
+                                double scale = 0.06) {
+  return makeBenchmark(paperBenchmark(name).scaled(scale));
+}
+
+TEST(Baselines, ToStringNames) {
+  EXPECT_STREQ(toString(BaselineKind::GaoPanTrim11), "GaoPan[11]");
+  EXPECT_STREQ(toString(BaselineKind::KodamaCut16), "Kodama[16]");
+  EXPECT_STREQ(toString(BaselineKind::DuGraphModel10), "Du[10]");
+}
+
+TEST(Baselines, TrimRouterRunsAndLeaksOverlay) {
+  BenchmarkInstance inst = smallInstance();
+  const BaselineResult r =
+      runBaseline(BaselineKind::GaoPanTrim11, inst.grid, inst.netlist);
+  EXPECT_GT(r.stats.routedNets, 0);
+  // No assist cores in the trim process: second patterns are exposed.
+  EXPECT_GT(r.physical.sideOverlayNm, 0);
+  EXPECT_FALSE(r.timedOut);
+}
+
+TEST(Baselines, CutRouterWithoutMergeLosesRoutability) {
+  BenchmarkInstance a = smallInstance();
+  const BaselineResult kodama =
+      runBaseline(BaselineKind::KodamaCut16, a.grid, a.netlist);
+
+  BenchmarkInstance b = smallInstance();
+  OverlayAwareRouter ours(b.grid, b.netlist);
+  const RoutingStats ourStats = ours.run();
+
+  EXPECT_LE(kodama.stats.routability(), ourStats.routability());
+}
+
+TEST(Baselines, ProposedBeatsTrimOnOverlay) {
+  BenchmarkInstance a = smallInstance();
+  const BaselineResult trim =
+      runBaseline(BaselineKind::GaoPanTrim11, a.grid, a.netlist);
+
+  BenchmarkInstance b = smallInstance();
+  OverlayAwareRouter ours(b.grid, b.netlist);
+  ours.run();
+  const OverlayReport ourPhys = ours.physicalReport();
+
+  EXPECT_LT(ourPhys.sideOverlayNm, trim.physical.sideOverlayNm);
+  EXPECT_LT(ourPhys.cutConflicts(), trim.conflicts);
+}
+
+TEST(Baselines, DuEnumeratesCandidatesAndRuns) {
+  BenchmarkInstance inst = smallInstance("Test6", 0.06);
+  const BaselineResult r =
+      runBaseline(BaselineKind::DuGraphModel10, inst.grid, inst.netlist);
+  EXPECT_GT(r.stats.routedNets, 0);
+  EXPECT_FALSE(r.timedOut);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Baselines, DuTimesOutAndReportsNa) {
+  BenchmarkInstance inst = smallInstance("Test8", 0.2);
+  const BaselineResult r = runBaseline(BaselineKind::DuGraphModel10,
+                                       inst.grid, inst.netlist, 0.05);
+  EXPECT_TRUE(r.timedOut);
+}
+
+TEST(Baselines, DeterministicRepeatRuns) {
+  BenchmarkInstance a = smallInstance();
+  const BaselineResult r1 =
+      runBaseline(BaselineKind::KodamaCut16, a.grid, a.netlist);
+  BenchmarkInstance b = smallInstance();
+  const BaselineResult r2 =
+      runBaseline(BaselineKind::KodamaCut16, b.grid, b.netlist);
+  EXPECT_EQ(r1.stats.routedNets, r2.stats.routedNets);
+  EXPECT_EQ(r1.overlayUnits, r2.overlayUnits);
+  EXPECT_EQ(r1.conflicts, r2.conflicts);
+}
+
+}  // namespace
+}  // namespace sadp

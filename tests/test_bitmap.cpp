@@ -1,0 +1,144 @@
+// Tests for the 10 nm raster and its morphological operations.
+#include "sadp/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sadp {
+namespace {
+
+TEST(Bitmap, FillAndGet) {
+  Bitmap b(10, 10);
+  b.fillRect(2, 3, 5, 6);
+  EXPECT_TRUE(b.get(2, 3));
+  EXPECT_TRUE(b.get(4, 5));
+  EXPECT_FALSE(b.get(5, 5));  // half-open
+  EXPECT_FALSE(b.get(4, 6));
+  EXPECT_EQ(b.count(), 9u);
+  // Out-of-range reads are false; writes are clipped.
+  EXPECT_FALSE(b.get(-1, 0));
+  EXPECT_FALSE(b.get(10, 10));
+  b.fillRect(-5, -5, 2, 2);
+  EXPECT_TRUE(b.get(0, 0));
+}
+
+TEST(Bitmap, BooleanOps) {
+  Bitmap a(8, 8), b(8, 8);
+  a.fillRect(0, 0, 4, 4);
+  b.fillRect(2, 2, 6, 6);
+  Bitmap u = a | b;
+  EXPECT_EQ(u.count(), 16u + 16u - 4u);
+  Bitmap i = a & b;
+  EXPECT_EQ(i.count(), 4u);
+  Bitmap d = a;
+  d.andNot(b);
+  EXPECT_EQ(d.count(), 12u);
+  EXPECT_TRUE(d.get(0, 0));
+  EXPECT_FALSE(d.get(3, 3));
+  Bitmap inv = a;
+  inv.invert();
+  EXPECT_EQ(inv.count(), 64u - 16u);
+  Bitmap other(4, 4);
+  EXPECT_THROW(a |= other, std::invalid_argument);
+}
+
+TEST(Bitmap, AnyInRect) {
+  Bitmap b(10, 10);
+  b.set(5, 5);
+  EXPECT_TRUE(b.anyInRect(0, 0, 10, 10));
+  EXPECT_TRUE(b.anyInRect(5, 5, 6, 6));
+  EXPECT_FALSE(b.anyInRect(0, 0, 5, 5));
+  EXPECT_FALSE(b.anyInRect(6, 6, 10, 10));
+}
+
+TEST(Bitmap, Dilation) {
+  Bitmap b(9, 9);
+  b.set(4, 4);
+  Bitmap d = b.dilated(1);
+  EXPECT_EQ(d.count(), 9u);  // 3x3 square
+  EXPECT_TRUE(d.get(3, 3));
+  EXPECT_TRUE(d.get(5, 5));
+  EXPECT_FALSE(d.get(2, 4));
+  Bitmap d2 = b.dilated(2);
+  EXPECT_EQ(d2.count(), 25u);
+}
+
+TEST(Bitmap, ErosionShrinksFromEdges) {
+  Bitmap b(9, 9);
+  b.fillRect(2, 2, 7, 7);  // 5x5
+  Bitmap e = b.eroded(1);
+  EXPECT_EQ(e.count(), 9u);  // 3x3
+  EXPECT_TRUE(e.get(4, 4));
+  EXPECT_FALSE(e.get(2, 2));
+  // Erosion is the complement of dilating the complement, so the raster
+  // border behaves as "set": a full bitmap stays full.
+  Bitmap full(5, 5);
+  full.fillRect(0, 0, 5, 5);
+  EXPECT_EQ(full.eroded(1).count(), 25u);
+}
+
+TEST(Bitmap, ClosingFillsSmallGaps) {
+  Bitmap b(20, 7);
+  b.fillRect(0, 2, 8, 5);
+  b.fillRect(10, 2, 18, 5);  // 2 px gap
+  Bitmap c = b.closed(1);
+  EXPECT_TRUE(c.get(8, 3));
+  EXPECT_TRUE(c.get(9, 3));
+  // A 3 px gap survives closing with radius 1.
+  Bitmap wide(20, 7);
+  wide.fillRect(0, 2, 8, 5);
+  wide.fillRect(11, 2, 18, 5);
+  Bitmap cw = wide.closed(1);
+  EXPECT_FALSE(cw.get(9, 3));
+}
+
+TEST(Bitmap, ClosingDoesNotBridgeDiagonalGaps) {
+  // Chebyshev closing cannot merge a (2,2) px diagonal gap -- this is why
+  // the mask synthesizer performs shape-level merging instead of closing.
+  Bitmap b(16, 16);
+  b.fillRect(0, 0, 6, 6);
+  b.fillRect(8, 8, 14, 14);
+  Bitmap c = b.closed(1);
+  EXPECT_FALSE(c.get(6, 6));
+  EXPECT_FALSE(c.get(7, 7));
+}
+
+TEST(Bitmap, OpeningRemovesSlivers) {
+  Bitmap b(20, 20);
+  b.fillRect(0, 0, 20, 1);   // 1 px tall sliver
+  b.fillRect(5, 5, 15, 15);  // solid block
+  Bitmap o = b.opened(1);
+  EXPECT_FALSE(o.get(10, 0));
+  EXPECT_TRUE(o.get(10, 10));
+}
+
+TEST(Bitmap, AnyNear) {
+  Bitmap b(10, 10);
+  b.set(5, 5);
+  EXPECT_TRUE(anyNear(b, 5, 5, 0));
+  EXPECT_TRUE(anyNear(b, 4, 4, 1));
+  EXPECT_TRUE(anyNear(b, 6, 4, 1));
+  EXPECT_FALSE(anyNear(b, 3, 3, 1));
+  EXPECT_TRUE(anyNear(b, 3, 3, 2));
+}
+
+TEST(Bitmap, ComponentCount) {
+  Bitmap b(20, 20);
+  EXPECT_EQ(componentCount(b), 0);
+  b.fillRect(0, 0, 3, 3);
+  EXPECT_EQ(componentCount(b), 1);
+  b.fillRect(10, 10, 12, 12);
+  EXPECT_EQ(componentCount(b), 2);
+  // Diagonal touch is NOT 4-connected.
+  b.set(3, 3);
+  EXPECT_EQ(componentCount(b), 3);
+  // A row through y=1 absorbs the first block and the (3,3) spur stays
+  // separate, as does the block at (10,10).
+  b.fillRect(0, 1, 11, 2);
+  EXPECT_EQ(componentCount(b), 3);
+  // Extend the bridge into the second block.
+  b.fillRect(10, 1, 11, 11);
+  EXPECT_EQ(componentCount(b), 2);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,109 @@
+// Tests for the coloring entry points beyond pseudoColor: per-vertex
+// priors and the baselines' first-fit coloring.
+#include <gtest/gtest.h>
+
+#include "color/flipping.hpp"
+#include "ocg/graph.hpp"
+
+namespace sadp {
+namespace {
+
+Classification nonhard(int cc, int cs, int sc, int ss) {
+  Classification c;
+  c.type = ScenarioType::T3a;
+  c.overlay = {cc, cs, sc, ss};
+  return c;
+}
+
+Classification hardDiff() {
+  Classification c;
+  c.type = ScenarioType::T1a;
+  c.overlay = {kHardCost, 0, 0, kHardCost};
+  return c;
+}
+
+TEST(Priors, BiasPseudoColoring) {
+  OverlayConstraintGraph g;
+  g.vertexFor(1);
+  g.setPrior(1, /*core=*/5, /*second=*/0);
+  EXPECT_EQ(g.pseudoColor(1), Color::Second);
+  g.setPrior(1, 0, 5);
+  EXPECT_EQ(g.pseudoColor(1), Color::Core);
+}
+
+TEST(Priors, TradeOffAgainstEdgeCosts) {
+  OverlayConstraintGraph g;
+  // Edge strongly prefers same colors; prior mildly prefers Second for 2.
+  g.addScenario(1, 2, nonhard(0, 10, 10, 0));
+  g.setColor(1, Color::Core);
+  g.setPrior(2, 0, 3);
+  // Edge cost dominates: CC (0 + prior core 0) beats CS (10... from 1's
+  // view 2=Second costs 10 + 0).
+  EXPECT_EQ(g.pseudoColor(2), Color::Core);
+  // Make the prior dominate.
+  g.setPrior(2, 20, 0);
+  EXPECT_EQ(g.pseudoColor(2), Color::Second);
+}
+
+TEST(Priors, FlowIntoFlippingSelfCost) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardDiff());  // one class, opposite parities
+  g.setPrior(1, 4, 0);              // net 1 wants Second
+  g.setColor(1, Color::Core);
+  colorFlip(g);
+  EXPECT_EQ(g.colorOf(1), Color::Second);
+  EXPECT_EQ(g.colorOf(2), Color::Core);
+}
+
+TEST(Priors, ClearingResetsBehavior) {
+  OverlayConstraintGraph g;
+  g.vertexFor(1);
+  g.setPrior(1, 0, 5);
+  g.setPrior(1, 0, 0);  // cleared
+  const std::int64_t vertex = g.findVertex(1);
+  ASSERT_GE(vertex, 0);
+  EXPECT_EQ(g.priorOf(std::uint32_t(vertex), Color::Second), 0);
+}
+
+TEST(FirstFit, PrefersCoreWhenLegal) {
+  OverlayConstraintGraph g;
+  g.vertexFor(7);
+  EXPECT_EQ(g.firstFitColor(7), Color::Core);
+}
+
+TEST(FirstFit, FallsToSecondOnHardNeighbor) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardDiff());
+  g.setColor(1, Color::Core);
+  // The hard-diff edge welds 1 and 2 into one parity class: 2's color is
+  // already determined by 1's, and first-fit must not revisit it.
+  EXPECT_EQ(g.firstFitColor(2), Color::Second);
+  EXPECT_EQ(g.colorOf(1), Color::Core);
+}
+
+TEST(FirstFit, IgnoresNonhardCosts) {
+  OverlayConstraintGraph g;
+  // Expensive-but-legal CC: first-fit does not care, pseudo-color does.
+  g.addScenario(1, 2, nonhard(50, 0, 0, 50));
+  g.setColor(1, Color::Core);
+  EXPECT_EQ(g.firstFitColor(2), Color::Core);
+  EXPECT_EQ(g.pseudoColor(2), Color::Second);
+}
+
+TEST(FirstFit, FallbackWhenNothingLegal) {
+  OverlayConstraintGraph g;
+  // Two single-assignment bans (not parity-expressible, so the vertices
+  // stay in separate classes): with net 1 = Core, net 2 is banned both as
+  // Core (CC) and Second (CS). First-fit falls back to Core.
+  Classification banCC = nonhard(kHardCost, 0, 0, 0);
+  banCC.type = ScenarioType::T1a;
+  Classification banCS = nonhard(0, kHardCost, 0, 0);
+  banCS.type = ScenarioType::T3c;
+  g.addScenario(1, 2, banCC);
+  g.addScenario(1, 2, banCS);
+  g.setColor(1, Color::Core);
+  EXPECT_EQ(g.firstFitColor(2), Color::Core);
+}
+
+}  // namespace
+}  // namespace sadp

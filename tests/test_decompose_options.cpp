@@ -1,0 +1,108 @@
+// Tests for DecomposeOptions behaviors and decomposer edge cases.
+#include <gtest/gtest.h>
+
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+namespace {
+
+const DesignRules kRules;
+
+Fragment hw(NetId net, Track x0, Track x1, Track y) {
+  return Fragment{x0, y, x1, y + 1, net};
+}
+
+TEST(DecomposeOptions, NoMergeLeavesCoreGapAsCut) {
+  // Two same-color cores at an illegal sub-d_core gap: with merging the
+  // gap is bridged core material; without, it stays a (2 px) cut slot.
+  std::vector<ColoredFragment> frags{{hw(1, 0, 5, 2), Color::Core},
+                                     {hw(2, 0, 5, 3), Color::Core}};
+  DecomposeOptions merged;
+  const LayerDecomposition a = decomposeLayer(frags, kRules, merged);
+  DecomposeOptions noMerge;
+  noMerge.mergeCores = false;
+  const LayerDecomposition b = decomposeLayer(frags, kRules, noMerge);
+  EXPECT_GT(a.coreMask.count(), b.coreMask.count());
+}
+
+TEST(DecomposeOptions, TrimAssistsAffectsDamage) {
+  // A stub wedged between two second wires' strip ends: with trimming the
+  // assists back off; without, they merge and the spacer nibbles metal.
+  std::vector<ColoredFragment> frags{
+      {hw(1, 0, 6, 2), Color::Second},
+      {Fragment{7, 3, 8, 4, 2}, Color::Second},  // stub diagonal to strip
+      {hw(3, 8, 14, 4), Color::Second},
+  };
+  DecomposeOptions trim;      // default: trimming on
+  DecomposeOptions noTrim;
+  noTrim.trimAssists = false;
+  const OverlayReport a = decomposeLayer(frags, kRules, trim).report;
+  const OverlayReport b = decomposeLayer(frags, kRules, noTrim).report;
+  EXPECT_LE(a.spacerOverTargetPx, b.spacerOverTargetPx);
+}
+
+TEST(DecomposeOptions, MarginRespectsMinimum) {
+  std::vector<ColoredFragment> frags{{hw(1, 0, 4, 0), Color::Core}};
+  DecomposeOptions tiny;
+  tiny.margin = 1;  // below one pitch: clamped up
+  const LayerDecomposition d = decomposeLayer(frags, kRules, tiny);
+  // The window must still fit the core's spacer ring.
+  EXPECT_EQ(d.report.spacerOverTargetPx, 0);
+  EXPECT_GE(d.windowNm.xhi - d.windowNm.xlo,
+            fragmentMetalNm(frags[0].frag, kRules).width());
+}
+
+TEST(DecomposeOptions, NegativeCoordinatesHandled) {
+  std::vector<ColoredFragment> frags{
+      {Fragment{-5, -4, 2, -3, 1}, Color::Core},
+      {Fragment{-5, -1, 2, 0, 2}, Color::Second},  // 3 tracks: independent
+  };
+  const LayerDecomposition d = decomposeLayer(frags, kRules);
+  EXPECT_EQ(d.report.hardOverlays, 0);
+  EXPECT_EQ(d.report.cutConflicts(), 0);
+  EXPECT_EQ(std::int64_t(d.target.count()) * 100,
+            fragmentMetalNm(frags[0].frag, kRules).area() +
+                fragmentMetalNm(frags[1].frag, kRules).area());
+}
+
+TEST(DecomposeOptions, ConflictBoxesLocateDamage) {
+  // A second wire with assists disabled: both sides cut-defined; the
+  // conflict boxes must cover the wire's area.
+  DecomposeOptions opts;
+  opts.insertAssists = false;
+  std::vector<ColoredFragment> frags{{hw(1, 0, 6, 2), Color::Second}};
+  const LayerDecomposition d = decomposeLayer(frags, kRules, opts);
+  ASSERT_GT(d.report.cutSpaceConflicts, 0);
+  ASSERT_FALSE(d.conflictBoxesNm.empty());
+  const Rect metal = fragmentMetalNm(frags[0].frag, kRules);
+  bool touches = false;
+  for (const Rect& b : d.conflictBoxesNm) {
+    if (b.overlaps(metal)) touches = true;
+  }
+  EXPECT_TRUE(touches);
+}
+
+TEST(DecomposeOptions, HardOverlayBoxesLocateDamage) {
+  // 1-a CC over a long span: hard overlay boxes along the facing sides.
+  std::vector<ColoredFragment> frags{{hw(1, 0, 8, 2), Color::Core},
+                                     {hw(2, 0, 8, 3), Color::Core}};
+  const LayerDecomposition d = decomposeLayer(frags, kRules);
+  ASSERT_GT(d.report.hardOverlays, 0);
+  ASSERT_FALSE(d.hardOverlayBoxesNm.empty());
+  // Every hard box lies between the two wires' metal bands.
+  for (const Rect& b : d.hardOverlayBoxesNm) {
+    EXPECT_GE(b.ylo, fragmentMetalNm(frags[0].frag, kRules).ylo);
+    EXPECT_LE(b.yhi, fragmentMetalNm(frags[1].frag, kRules).yhi);
+  }
+}
+
+TEST(DecomposeOptions, UnassignedColorTreatedAsCore) {
+  std::vector<ColoredFragment> frags{{hw(1, 0, 5, 2), Color::Unassigned}};
+  const LayerDecomposition d = decomposeLayer(frags, kRules);
+  // Unassigned renders like core: fully spacer-protected.
+  EXPECT_EQ(d.report.sideOverlayNm, 0);
+  EXPECT_EQ(d.report.tipOverlays, 0);
+}
+
+}  // namespace
+}  // namespace sadp

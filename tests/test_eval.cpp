@@ -1,0 +1,99 @@
+// Tests for the evaluation harness: table formatting, CSV emission, and
+// the least-squares runtime-exponent fit of Fig. 20.
+#include "eval/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace sadp {
+namespace {
+
+ExperimentRow row(const char* circuit, const char* router, int nets,
+                  double cpu, std::int64_t ovlNm = 100, int conflicts = 0) {
+  ExperimentRow r;
+  r.circuit = circuit;
+  r.router = router;
+  r.nets = nets;
+  r.routability = 95.0;
+  r.overlayUnits = 10;
+  r.overlayNm = ovlNm;
+  r.conflicts = conflicts;
+  r.cpuSeconds = cpu;
+  return r;
+}
+
+TEST(Eval, RuntimeExponentRecoversSlope) {
+  // t = c * n^1.5 exactly.
+  std::vector<ExperimentRow> rows;
+  for (int n : {100, 200, 400, 800, 1600}) {
+    rows.push_back(row("x", "ours", n, 1e-6 * std::pow(double(n), 1.5)));
+  }
+  auto e = runtimeExponent(rows);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(*e, 1.5, 1e-6);
+}
+
+TEST(Eval, RuntimeExponentIgnoresNaAndDegenerate) {
+  std::vector<ExperimentRow> rows;
+  EXPECT_FALSE(runtimeExponent(rows).has_value());
+  rows.push_back(row("x", "ours", 100, 1.0));
+  EXPECT_FALSE(runtimeExponent(rows).has_value());
+  ExperimentRow na = row("x", "ours", 200, 2.0);
+  na.na = true;
+  rows.push_back(na);
+  EXPECT_FALSE(runtimeExponent(rows).has_value());  // only 1 usable point
+  rows.push_back(row("x", "ours", 400, 4.0));
+  EXPECT_TRUE(runtimeExponent(rows).has_value());
+}
+
+TEST(Eval, TablePrintsAllRowsAndCompLine) {
+  std::vector<ExperimentRow> rows{
+      row("T1", "ours", 100, 1.0, 100, 0),
+      row("T1", "base", 100, 2.0, 1000, 10),
+  };
+  std::ostringstream os;
+  printComparisonTable(os, rows, "ours");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("T1"), std::string::npos);
+  EXPECT_NE(s.find("ours"), std::string::npos);
+  EXPECT_NE(s.find("base"), std::string::npos);
+  EXPECT_NE(s.find("Comp."), std::string::npos);
+  // base has 10x the overlay -> its comp ratio begins with "10."
+  EXPECT_NE(s.find("10.0"), std::string::npos);
+}
+
+TEST(Eval, TableRendersNa) {
+  ExperimentRow na = row("T9", "Du[10]", 12000, 100000.0);
+  na.na = true;
+  std::ostringstream os;
+  printComparisonTable(os, {na}, "ours");
+  EXPECT_NE(os.str().find("NA"), std::string::npos);
+}
+
+TEST(Eval, CsvRoundTripStructure) {
+  std::ostringstream os;
+  writeCsv(os, {row("T1", "ours", 100, 1.0)});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("circuit,router"), std::string::npos);
+  EXPECT_NE(s.find("T1,ours,100"), std::string::npos);
+  // Exactly one header + one data line.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(Eval, RunProposedProducesSaneRow) {
+  const BenchmarkSpec spec = paperBenchmark("Test1").scaled(0.04);
+  const ExperimentRow r = runProposed(spec);
+  EXPECT_EQ(r.circuit, "Test1");
+  EXPECT_EQ(r.router, "ours");
+  EXPECT_GT(r.nets, 0);
+  EXPECT_GT(r.routability, 50.0);
+  EXPECT_GE(r.overlayUnits, 0);
+  EXPECT_LT(r.overlayUnits, kHardCost);  // forbidden assignments excluded
+  EXPECT_GT(r.cpuSeconds, 0.0);
+  EXPECT_FALSE(r.na);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,235 @@
+// Unit tests for the rectilinear geometry kernel.
+#include "geom/geom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sadp {
+namespace {
+
+TEST(Rect, BasicProperties) {
+  const Rect r{0, 0, 10, 20};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.orient(), Orient::Vertical);
+  EXPECT_EQ((Rect{0, 0, 20, 10}.orient()), Orient::Horizontal);
+  EXPECT_EQ((Rect{0, 0, 10, 10}.orient()), Orient::Horizontal);  // square
+}
+
+TEST(Rect, EmptyRects) {
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_TRUE((Rect{5, 5, 5, 10}.empty()));
+  EXPECT_TRUE((Rect{5, 5, 4, 10}.empty()));
+  EXPECT_EQ(Rect{}.area(), 0);
+}
+
+TEST(Rect, ContainsPointHalfOpen) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Pt{0, 0}));
+  EXPECT_TRUE(r.contains(Pt{9, 9}));
+  EXPECT_FALSE(r.contains(Pt{10, 0}));
+  EXPECT_FALSE(r.contains(Pt{0, 10}));
+  EXPECT_FALSE(r.contains(Pt{-1, 5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Rect{2, 2, 8, 8}));
+  EXPECT_TRUE(r.contains(r));
+  EXPECT_FALSE(r.contains(Rect{2, 2, 11, 8}));
+  EXPECT_FALSE(r.contains(Rect{}));
+}
+
+TEST(Rect, OverlapsIsInteriorOnly) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.overlaps(Rect{5, 5, 15, 15}));
+  EXPECT_FALSE(a.overlaps(Rect{10, 0, 20, 10}));  // shared edge
+  EXPECT_FALSE(a.overlaps(Rect{10, 10, 20, 20})); // shared corner
+  EXPECT_FALSE(a.overlaps(Rect{}));
+}
+
+TEST(Rect, IntersectAndUnion) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 20, 20};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 10, 10}));
+  EXPECT_EQ(a.unionWith(b), (Rect{0, 0, 20, 20}));
+  EXPECT_TRUE(a.intersect(Rect{12, 12, 15, 15}).empty());
+  EXPECT_EQ(Rect{}.unionWith(a), a);
+}
+
+TEST(Rect, InflateDeflate) {
+  const Rect a{10, 10, 20, 20};
+  EXPECT_EQ(a.inflated(5), (Rect{5, 5, 25, 25}));
+  EXPECT_EQ(a.inflated(-4), (Rect{14, 14, 16, 16}));
+  EXPECT_TRUE(a.inflated(-5).empty());
+}
+
+TEST(Rect, Gaps) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(xGap(a, Rect{15, 0, 20, 10}), 5);
+  EXPECT_EQ(xGap(a, Rect{5, 20, 20, 30}), 0);   // overlapping in x
+  EXPECT_EQ(xGap(a, Rect{10, 0, 20, 10}), 0);   // abutting
+  EXPECT_EQ(yGap(a, Rect{0, 13, 10, 20}), 3);
+  EXPECT_EQ(distSq(a, Rect{13, 14, 20, 20}), 3 * 3 + 4 * 4);
+  EXPECT_EQ(distSq(a, Rect{5, 5, 20, 20}), 0);
+}
+
+TEST(Rect, OverlapLengths) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(xOverlap(a, Rect{5, 20, 25, 30}), 5);
+  EXPECT_EQ(xOverlap(a, Rect{10, 0, 20, 10}), 0);
+  EXPECT_EQ(yOverlap(a, Rect{20, 2, 30, 6}), 4);
+}
+
+TEST(Interval, MergeIntervals) {
+  auto merged = mergeIntervals({{0, 3}, {5, 9}, {4, 4}, {20, 25}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Interval{0, 9}));  // 0-3,4,5-9 chain into one
+  EXPECT_EQ(merged[1], (Interval{20, 25}));
+}
+
+TEST(Interval, GapAndContains) {
+  const Interval a{0, 5};
+  EXPECT_EQ(a.gap(Interval{8, 10}), 2);
+  EXPECT_EQ(a.gap(Interval{6, 10}), 0);
+  EXPECT_EQ(a.gap(Interval{3, 10}), 0);
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(5));
+  EXPECT_FALSE(a.contains(6));
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_EQ(Interval{}.length(), 0);
+  EXPECT_EQ(a.length(), 6);
+}
+
+TEST(Canonicalize, DisjointRectsPassThrough) {
+  std::vector<Rect> in{{0, 0, 10, 10}, {20, 20, 30, 30}};
+  auto out = canonicalize(in);
+  EXPECT_EQ(regionArea(out), 200);
+  EXPECT_EQ(regionArea(in), 200);
+}
+
+TEST(Canonicalize, OverlapCountedOnce) {
+  std::vector<Rect> in{{0, 0, 10, 10}, {5, 0, 15, 10}};
+  auto out = canonicalize(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Rect{0, 0, 15, 10}));
+}
+
+TEST(Canonicalize, LShapeSplitsIntoTwoRects) {
+  // Vertical bar with a horizontal foot.
+  std::vector<Rect> in{{0, 0, 1, 5}, {0, 0, 5, 1}};
+  auto out = canonicalize(in);
+  EXPECT_EQ(regionArea(out), 5 + 5 - 1);
+  // Slab decomposition: foot row and the column above it.
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(Canonicalize, VerticalLineStaysOneRect) {
+  std::vector<Rect> in;
+  for (int y = 0; y < 20; ++y) in.push_back({3, y, 4, y + 1});
+  auto out = canonicalize(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Rect{3, 0, 4, 20}));
+}
+
+TEST(Canonicalize, PlusShape) {
+  std::vector<Rect> in{{2, 0, 3, 7}, {0, 3, 7, 4}};
+  auto out = canonicalize(in);
+  EXPECT_EQ(regionArea(out), 7 + 7 - 1);
+  ASSERT_EQ(out.size(), 3u);  // top column, middle row, bottom column
+}
+
+TEST(RegionArea, RandomizedAgainstBruteForce) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> d(0, 30);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Rect> rects;
+    for (int i = 0; i < 8; ++i) {
+      const int x0 = d(rng), y0 = d(rng);
+      rects.push_back({x0, y0, x0 + 1 + d(rng) % 6, y0 + 1 + d(rng) % 6});
+    }
+    // Brute force pixel count.
+    std::int64_t brute = 0;
+    for (int x = 0; x < 40; ++x) {
+      for (int y = 0; y < 40; ++y) {
+        if (regionContains(rects, Pt{x, y})) ++brute;
+      }
+    }
+    EXPECT_EQ(regionArea(rects), brute) << "iter " << iter;
+    // Canonicalized region must preserve area and membership.
+    auto canon = canonicalize(rects);
+    EXPECT_EQ(regionArea(canon), brute);
+    for (int probe = 0; probe < 20; ++probe) {
+      Pt p{d(rng), d(rng)};
+      EXPECT_EQ(regionContains(canon, p), regionContains(rects, p));
+    }
+  }
+}
+
+TEST(SpatialHash, InsertQueryErase) {
+  SpatialHash h(16);
+  h.insert(Rect{0, 0, 10, 10}, 1);
+  h.insert(Rect{100, 100, 120, 120}, 2);
+  EXPECT_EQ(h.size(), 2u);
+
+  int found = 0;
+  h.query(Rect{-5, -5, 50, 50}, [&](const Rect&, std::uint32_t id) {
+    EXPECT_EQ(id, 1u);
+    ++found;
+  });
+  EXPECT_EQ(found, 1);
+
+  EXPECT_TRUE(h.erase(Rect{0, 0, 10, 10}, 1));
+  EXPECT_FALSE(h.erase(Rect{0, 0, 10, 10}, 1));
+  EXPECT_EQ(h.size(), 1u);
+  found = 0;
+  h.query(Rect{-5, -5, 200, 200}, [&](const Rect&, std::uint32_t) { ++found; });
+  EXPECT_EQ(found, 1);
+}
+
+TEST(SpatialHash, LargeRectSpanningManyBucketsReportedOnce) {
+  SpatialHash h(16);
+  h.insert(Rect{0, 0, 100, 100}, 7);
+  int found = 0;
+  h.query(Rect{0, 0, 100, 100}, [&](const Rect&, std::uint32_t) { ++found; });
+  EXPECT_EQ(found, 1);
+}
+
+TEST(SpatialHash, NegativeCoordinates) {
+  SpatialHash h(16);
+  h.insert(Rect{-50, -50, -30, -30}, 3);
+  int found = 0;
+  h.query(Rect{-60, -60, -20, -20},
+          [&](const Rect&, std::uint32_t id) {
+            EXPECT_EQ(id, 3u);
+            ++found;
+          });
+  EXPECT_EQ(found, 1);
+  found = 0;
+  h.query(Rect{0, 0, 10, 10}, [&](const Rect&, std::uint32_t) { ++found; });
+  EXPECT_EQ(found, 0);
+}
+
+TEST(SpatialHash, QueryRespectsWindow) {
+  SpatialHash h(8);
+  for (int i = 0; i < 10; ++i) {
+    h.insert(Rect{i * 20, 0, i * 20 + 10, 10}, std::uint32_t(i));
+  }
+  std::vector<std::uint32_t> ids;
+  h.query(Rect{35, 0, 75, 10},
+          [&](const Rect&, std::uint32_t id) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(Manhattan, Distances) {
+  EXPECT_EQ(manhattan(Pt{0, 0}, Pt{3, 4}), 7);
+  EXPECT_EQ(manhattan(Pt{-3, -4}, Pt{0, 0}), 7);
+  EXPECT_EQ(manhattan(Pt{5, 5}, Pt{5, 5}), 0);
+}
+
+}  // namespace
+}  // namespace sadp

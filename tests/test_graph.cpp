@@ -1,0 +1,181 @@
+// Tests for the overlay constraint graph and its parity union-find
+// (odd-cycle detection, super-vertex reduction, pseudo-coloring).
+#include "ocg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sadp {
+namespace {
+
+Classification hardDiff() {
+  Classification c;
+  c.type = ScenarioType::T1a;
+  c.overlay = {kHardCost, 0, 0, kHardCost};
+  return c;
+}
+
+Classification hardSame() {
+  Classification c;
+  c.type = ScenarioType::T1b;
+  c.overlay = {0, kHardCost, kHardCost, 0};
+  return c;
+}
+
+Classification nonhard(int cc, int cs, int sc, int ss,
+                       ScenarioType t = ScenarioType::T3a) {
+  Classification c;
+  c.type = t;
+  c.overlay = {cc, cs, sc, ss};
+  return c;
+}
+
+TEST(ParityDsu, UniteAndContradiction) {
+  ParityDsu d;
+  EXPECT_TRUE(d.unite(0, 1, 1));  // different
+  EXPECT_TRUE(d.unite(1, 2, 1));  // different -> 0 and 2 same
+  EXPECT_FALSE(d.contradicts(0, 2, 0));
+  EXPECT_TRUE(d.contradicts(0, 2, 1));
+  // Odd cycle: 0-2 must now be same; requiring different fails.
+  EXPECT_FALSE(d.unite(0, 2, 1));
+  EXPECT_TRUE(d.unite(0, 2, 0));
+}
+
+TEST(ParityDsu, LongChainParity) {
+  ParityDsu d;
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(d.unite(i, i + 1, 1));
+  }
+  auto [r0, p0] = d.find(0);
+  auto [r100, p100] = d.find(100);
+  EXPECT_EQ(r0, r100);
+  EXPECT_EQ(p0, p100);  // 100 flips = even -> same color
+  auto [r99, p99] = d.find(99);
+  EXPECT_EQ(r99, r0);
+  EXPECT_NE(p99, p0);
+}
+
+TEST(Ocg, HardOddCycleDetected) {
+  OverlayConstraintGraph g;
+  EXPECT_TRUE(g.addScenario(1, 2, hardDiff()));
+  EXPECT_TRUE(g.addScenario(2, 3, hardDiff()));
+  // Triangle of "different" constraints is not 2-colorable.
+  EXPECT_FALSE(g.addScenario(3, 1, hardDiff()));
+  EXPECT_TRUE(g.hasHardViolation());
+}
+
+TEST(Ocg, MixedHardCycleParity) {
+  OverlayConstraintGraph g;
+  // A-B different, B-C same, C-A different: A!=B, B==C, C!=A -> consistent
+  // (A != B == C != A holds: A different from both).
+  EXPECT_TRUE(g.addScenario(1, 2, hardDiff()));
+  EXPECT_TRUE(g.addScenario(2, 3, hardSame()));
+  EXPECT_TRUE(g.addScenario(3, 1, hardDiff()));
+  EXPECT_FALSE(g.hasHardViolation());
+  // Now force A==B too: contradiction.
+  EXPECT_FALSE(g.addScenario(1, 2, hardSame()));
+  EXPECT_TRUE(g.hasHardViolation());
+}
+
+TEST(Ocg, RemoveNetClearsViolation) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardDiff());
+  g.addScenario(2, 3, hardDiff());
+  g.addScenario(3, 1, hardDiff());
+  EXPECT_TRUE(g.hasHardViolation());
+  g.removeNet(3);
+  EXPECT_FALSE(g.hasHardViolation());
+  // 1 and 2 still constrained.
+  g.setColor(1, Color::Core);
+  EXPECT_EQ(g.colorOf(2), Color::Second);
+}
+
+TEST(Ocg, HardClassColoringPropagates) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardDiff());
+  g.addScenario(2, 3, hardSame());
+  g.setColor(1, Color::Core);
+  EXPECT_EQ(g.colorOf(1), Color::Core);
+  EXPECT_EQ(g.colorOf(2), Color::Second);
+  EXPECT_EQ(g.colorOf(3), Color::Second);
+  g.setColor(3, Color::Core);  // flips the whole class
+  EXPECT_EQ(g.colorOf(1), Color::Second);
+  EXPECT_EQ(g.colorOf(2), Color::Core);
+}
+
+TEST(Ocg, PseudoColorPicksCheaperSide) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, nonhard(5, 0, 0, 5));  // prefers different colors
+  g.setColor(1, Color::Core);
+  const Color c = g.pseudoColor(2);
+  EXPECT_EQ(c, Color::Second);
+  EXPECT_EQ(g.totalOverlayUnits(), 0);
+}
+
+TEST(Ocg, PseudoColorRespectsHardClass) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardSame());
+  // Net 3 prefers to differ from 2; net 1 is colored Core.
+  g.addScenario(2, 3, nonhard(4, 0, 0, 4));
+  g.setColor(1, Color::Core);
+  g.pseudoColor(3);
+  // 2 is Core (same class as 1); 3 should become Second.
+  EXPECT_EQ(g.colorOf(2), Color::Core);
+  EXPECT_EQ(g.colorOf(3), Color::Second);
+}
+
+TEST(Ocg, EdgeCostUnassignedOptimistic) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, nonhard(3, 1, 2, 4));
+  // Nothing colored: best case = 1.
+  EXPECT_EQ(g.totalOverlayUnits(), 1);
+  g.setColor(1, Color::Core);
+  // Core row: CC=3, CS=1 -> best 1.
+  EXPECT_EQ(g.totalOverlayUnits(), 1);
+  g.setColor(2, Color::Core);
+  EXPECT_EQ(g.totalOverlayUnits(), 3);
+}
+
+TEST(Ocg, MultiEdgesAccumulate) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, nonhard(1, 0, 0, 1));
+  g.addScenario(1, 2, nonhard(1, 0, 0, 1));
+  g.setColor(1, Color::Core);
+  g.setColor(2, Color::Core);
+  EXPECT_EQ(g.totalOverlayUnits(), 2);
+  EXPECT_EQ(g.overlayUnitsOfNet(1), 2);
+}
+
+TEST(Ocg, TrivialScenarioIgnored) {
+  OverlayConstraintGraph g;
+  Classification c;
+  c.type = ScenarioType::T2c;
+  g.addScenario(1, 2, c);
+  EXPECT_EQ(g.vertexCount(), 0u);
+}
+
+TEST(Ocg, CutRiskCountsUnderAssignment) {
+  OverlayConstraintGraph g;
+  Classification c = nonhard(0, 2, 2, 0, ScenarioType::T2a);
+  c.cutRisk = {false, true, true, false};
+  g.addScenario(1, 2, c);
+  g.setColor(1, Color::Core);
+  g.setColor(2, Color::Second);
+  EXPECT_EQ(g.cutRiskCount(), 1);
+  g.setColor(2, Color::Core);
+  EXPECT_EQ(g.cutRiskCount(), 0);
+}
+
+TEST(Ocg, RemoveNetKeepsOtherColors) {
+  OverlayConstraintGraph g;
+  g.addScenario(1, 2, hardDiff());
+  g.addScenario(3, 4, hardDiff());
+  g.setColor(1, Color::Core);
+  g.setColor(3, Color::Second);
+  g.removeNet(2);
+  EXPECT_EQ(g.colorOf(1), Color::Core);
+  EXPECT_EQ(g.colorOf(3), Color::Second);
+  EXPECT_EQ(g.colorOf(4), Color::Core);
+}
+
+}  // namespace
+}  // namespace sadp

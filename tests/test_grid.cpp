@@ -1,0 +1,121 @@
+// Tests for design rules and the routing grid.
+#include "grid/routing_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sadp {
+namespace {
+
+TEST(DesignRules, PaperDefaultsValid) {
+  DesignRules r;
+  EXPECT_NO_THROW(r.validate());
+  EXPECT_EQ(r.pitch(), 40);
+  // d_indep^2 = 2 * 60^2 = 7200.
+  EXPECT_EQ(r.dIndepSq(), 7200);
+}
+
+TEST(DesignRules, Equation1Violation) {
+  DesignRules r;
+  r.wSpacer = 25;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(DesignRules, Equation2Violations) {
+  DesignRules r;
+  r.wCut = 25;  // != wCore
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = DesignRules{};
+  r.dCut = 40;  // != dCore
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = DesignRules{};
+  r.wCut = r.wCore = 30;  // !(wCut < dCut)
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(DesignRules, Equation3Violation) {
+  DesignRules r;
+  r.dOverlap = 20;  // d_core >= w_line + 2*w_spacer - 2*d_overlap = 20
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(DesignRules, NonPositiveValues) {
+  DesignRules r;
+  r.wLine = 0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(RoutingGrid, ConstructionAndBounds) {
+  RoutingGrid g(10, 8, 3, DesignRules{});
+  EXPECT_EQ(g.width(), 10);
+  EXPECT_EQ(g.height(), 8);
+  EXPECT_EQ(g.layers(), 3);
+  EXPECT_EQ(g.nodeCount(), 240u);
+  EXPECT_TRUE(g.inBounds({0, 0, 0}));
+  EXPECT_TRUE(g.inBounds({9, 7, 2}));
+  EXPECT_FALSE(g.inBounds({10, 0, 0}));
+  EXPECT_FALSE(g.inBounds({0, -1, 0}));
+  EXPECT_FALSE(g.inBounds({0, 0, 3}));
+  EXPECT_THROW(RoutingGrid(0, 8, 3, DesignRules{}), std::invalid_argument);
+}
+
+TEST(RoutingGrid, PreferredDirectionsAlternate) {
+  RoutingGrid g(4, 4, 3, DesignRules{});
+  EXPECT_EQ(g.preferredDir(0), Orient::Horizontal);
+  EXPECT_EQ(g.preferredDir(1), Orient::Vertical);
+  EXPECT_EQ(g.preferredDir(2), Orient::Horizontal);
+}
+
+TEST(RoutingGrid, OccupancyLifecycle) {
+  RoutingGrid g(4, 4, 2, DesignRules{});
+  const GridNode n{1, 2, 0};
+  EXPECT_TRUE(g.isFree(n));
+  g.occupy(n, 5);
+  EXPECT_EQ(g.owner(n), 5);
+  EXPECT_FALSE(g.isFree(n));
+  g.occupy(n, 5);  // re-claim is a no-op
+  EXPECT_THROW(g.occupy(n, 6), std::logic_error);
+  g.release(n, 6);  // wrong owner: no-op
+  EXPECT_EQ(g.owner(n), 5);
+  g.release(n, 5);
+  EXPECT_TRUE(g.isFree(n));
+}
+
+TEST(RoutingGrid, Blockages) {
+  RoutingGrid g(10, 10, 2, DesignRules{});
+  g.blockBox(0, 2, 2, 5, 5);
+  EXPECT_TRUE(g.isBlocked({2, 2, 0}));
+  EXPECT_TRUE(g.isBlocked({4, 4, 0}));
+  EXPECT_FALSE(g.isBlocked({5, 5, 0}));
+  EXPECT_FALSE(g.isBlocked({2, 2, 1}));  // other layer untouched
+  // Clipping out-of-range boxes must not throw.
+  EXPECT_NO_THROW(g.blockBox(1, -5, -5, 100, 100));
+  EXPECT_TRUE(g.isBlocked({0, 0, 1}));
+}
+
+TEST(RoutingGrid, NmTransforms) {
+  RoutingGrid g(10, 10, 2, DesignRules{});
+  EXPECT_EQ(g.nodeCenterNm({0, 0, 0}), (Pt{20, 20}));
+  EXPECT_EQ(g.nodeCenterNm({2, 3, 0}), (Pt{100, 140}));
+  EXPECT_EQ(g.nodeMetalNm({0, 0, 0}), (Rect{10, 10, 30, 30}));
+  EXPECT_EQ(g.dieNm(), (Rect{0, 0, 400, 400}));
+}
+
+TEST(RoutingGrid, SegmentMetal) {
+  RoutingGrid g(10, 10, 2, DesignRules{});
+  const Rect seg = g.segmentMetalNm({1, 1, 0}, {2, 1, 0});
+  EXPECT_EQ(seg, (Rect{50, 50, 110, 70}));
+  EXPECT_THROW(g.segmentMetalNm({1, 1, 0}, {3, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(g.segmentMetalNm({1, 1, 0}, {1, 1, 1}), std::invalid_argument);
+}
+
+TEST(RoutingGrid, OccupiedCount) {
+  RoutingGrid g(4, 4, 1, DesignRules{});
+  EXPECT_EQ(g.occupiedCount(), 0u);
+  g.occupy({0, 0, 0}, 1);
+  g.occupy({1, 0, 0}, 2);
+  g.block({2, 0, 0});
+  EXPECT_EQ(g.occupiedCount(), 2u);  // blockages don't count
+}
+
+}  // namespace
+}  // namespace sadp

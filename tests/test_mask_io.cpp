@@ -1,0 +1,76 @@
+// Tests for mask extraction and the mask text format.
+#include "sadp/mask_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sadp {
+namespace {
+
+LayerDecomposition sampleDecomposition() {
+  const DesignRules rules;
+  std::vector<ColoredFragment> frags{
+      {Fragment{0, 0, 6, 1, 1}, Color::Core},
+      {Fragment{0, 2, 6, 3, 2}, Color::Second},
+  };
+  return decomposeLayer(frags, rules);
+}
+
+TEST(MaskIo, ExtractionCoversBitmapExactly) {
+  const LayerDecomposition d = sampleDecomposition();
+  for (MaskLevel level : {MaskLevel::Target, MaskLevel::CoreMask,
+                          MaskLevel::Spacer, MaskLevel::CutMask}) {
+    const std::vector<Rect> rects = extractMaskRects(d, level);
+    // Area of the extracted region equals the bitmap population (each
+    // pixel is 10x10 nm).
+    const Bitmap& b = level == MaskLevel::Target   ? d.target
+                      : level == MaskLevel::CoreMask ? d.coreMask
+                      : level == MaskLevel::Spacer   ? d.spacer
+                                                     : d.cut;
+    EXPECT_EQ(regionArea(rects), std::int64_t(b.count()) * 100)
+        << toString(level);
+    // Rects must be disjoint: area equals sum of areas.
+    std::int64_t sum = 0;
+    for (const Rect& r : rects) sum += r.area();
+    EXPECT_EQ(sum, regionArea(rects)) << toString(level);
+  }
+}
+
+TEST(MaskIo, WriteReadRoundTrip) {
+  const LayerDecomposition d = sampleDecomposition();
+  std::stringstream ss;
+  writeMasks(ss, d, 2);
+  const MaskFile f = readMasks(ss);
+  EXPECT_EQ(f.layer, 2);
+  EXPECT_EQ(regionArea(f.level(MaskLevel::Target)),
+            std::int64_t(d.target.count()) * 100);
+  EXPECT_EQ(regionArea(f.level(MaskLevel::CutMask)),
+            std::int64_t(d.cut.count()) * 100);
+}
+
+TEST(MaskIo, RejectsGarbage) {
+  std::stringstream bad("nope v1 0 0");
+  EXPECT_THROW(readMasks(bad), std::runtime_error);
+  std::stringstream trunc("sadp-masks v1 0 2\ntarget 0 0 10 10\n");
+  EXPECT_THROW(readMasks(trunc), std::runtime_error);
+  std::stringstream badLevel("sadp-masks v1 0 1\nbogus 0 0 10 10\n");
+  EXPECT_THROW(readMasks(badLevel), std::runtime_error);
+}
+
+TEST(MaskIo, LevelsAreDisjointTargetSpacerCut) {
+  const LayerDecomposition d = sampleDecomposition();
+  const auto target = extractMaskRects(d, MaskLevel::Target);
+  const auto spacer = extractMaskRects(d, MaskLevel::Spacer);
+  const auto cut = extractMaskRects(d, MaskLevel::CutMask);
+  for (const Rect& t : target) {
+    for (const Rect& s : spacer) EXPECT_FALSE(t.overlaps(s));
+    for (const Rect& c : cut) EXPECT_FALSE(t.overlaps(c));
+  }
+  for (const Rect& s : spacer) {
+    for (const Rect& c : cut) EXPECT_FALSE(s.overlaps(c));
+  }
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,108 @@
+// Tests for multi-pin (Steiner) net support.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "route/router.hpp"
+
+namespace sadp {
+namespace {
+
+TEST(MultiPin, NetlistApi) {
+  Netlist nl;
+  Net& n = nl.addMultiPin("m", {Pin{{{0, 0, 0}}}, Pin{{{5, 5, 0}}},
+                                Pin{{{9, 0, 0}}}, Pin{{{0, 9, 0}}}});
+  EXPECT_EQ(n.pinCount(), 4u);
+  EXPECT_EQ(n.taps.size(), 2u);
+  EXPECT_THROW(nl.addMultiPin("bad", {Pin{{{0, 0, 0}}}}),
+               std::invalid_argument);
+}
+
+TEST(MultiPin, IoRoundTripV2) {
+  Netlist nl;
+  nl.addMultiPin("m", {Pin{{{0, 0, 0}}}, Pin{{{5, 5, 0}}}, Pin{{{9, 0, 1}}}});
+  nl.add("two", Pin{{{1, 1, 0}}}, Pin{{{2, 2, 0}}});
+  std::stringstream ss;
+  writeNetlist(ss, nl);
+  EXPECT_NE(ss.str().find("sadp-netlist v2"), std::string::npos);
+  const Netlist back = readNetlist(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.nets[0].taps.size(), 1u);
+  EXPECT_EQ(back.nets[0].taps[0].candidates[0], (GridNode{9, 0, 1}));
+  EXPECT_TRUE(back.nets[1].taps.empty());
+}
+
+TEST(MultiPin, LegacyV1StillParses) {
+  std::stringstream ss("sadp-netlist v1 1\nn0 1,2,0 3,4,0\n");
+  const Netlist nl = readNetlist(ss);
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl.nets[0].source.candidates[0], (GridNode{1, 2, 0}));
+}
+
+TEST(MultiPin, RoutesTreeConnectingAllPins) {
+  RoutingGrid grid(30, 30, 3, DesignRules{});
+  Netlist nl;
+  nl.addMultiPin("tree", {Pin{{{2, 15, 0}}}, Pin{{{25, 15, 0}}},
+                          Pin{{{14, 3, 0}}}, Pin{{{14, 27, 0}}}});
+  OverlayAwareRouter router(grid, nl);
+  const RoutingStats s = router.run();
+  ASSERT_EQ(s.routedNets, 1);
+
+  // The path must contain every pin and be a connected set of nodes.
+  const auto& path = router.netStates()[0].path;
+  std::set<std::tuple<Track, Track, int>> nodes;
+  for (const GridNode& n : path) nodes.insert({n.x, n.y, n.layer});
+  for (const GridNode& pin :
+       {GridNode{2, 15, 0}, GridNode{25, 15, 0}, GridNode{14, 3, 0},
+        GridNode{14, 27, 0}}) {
+    EXPECT_TRUE(nodes.count({pin.x, pin.y, pin.layer}))
+        << "pin not on tree";
+  }
+  // Connectivity: BFS over the node set from the first pin reaches all.
+  std::set<std::tuple<Track, Track, int>> seen;
+  std::vector<std::tuple<Track, Track, int>> stack{{2, 15, 0}};
+  seen.insert(stack[0]);
+  while (!stack.empty()) {
+    auto [x, y, l] = stack.back();
+    stack.pop_back();
+    const std::tuple<Track, Track, int> nbrs[6] = {
+        {x + 1, y, l}, {x - 1, y, l}, {x, y + 1, l},
+        {x, y - 1, l}, {x, y, l + 1}, {x, y, l - 1}};
+    for (const auto& nb : nbrs) {
+      if (nodes.count(nb) && seen.insert(nb).second) stack.push_back(nb);
+    }
+  }
+  EXPECT_EQ(seen.size(), nodes.size()) << "tree is disconnected";
+
+  // Wirelength bookkeeping holds for trees: edges = nodes - 1.
+  EXPECT_EQ(s.wirelength + s.vias, std::int64_t(nodes.size()) - 1);
+}
+
+TEST(MultiPin, TreeStillColorsAndDecomposes) {
+  RoutingGrid grid(30, 30, 3, DesignRules{});
+  Netlist nl;
+  nl.addMultiPin("tree", {Pin{{{2, 10, 0}}}, Pin{{{25, 10, 0}}},
+                          Pin{{{14, 2, 0}}}});
+  nl.add("nbr", Pin{{{2, 11, 0}}}, Pin{{{25, 11, 0}}});
+  OverlayAwareRouter router(grid, nl);
+  const RoutingStats s = router.run();
+  EXPECT_EQ(s.routedNets, 2);
+  const OverlayReport r = router.physicalReport();
+  EXPECT_EQ(r.hardOverlays, 0);
+  EXPECT_EQ(r.cutConflicts(), 0);
+}
+
+TEST(MultiPin, UnreachableTapFailsNet) {
+  RoutingGrid grid(20, 20, 1, DesignRules{});
+  for (Track y = 0; y < 20; ++y) grid.block({10, y, 0});
+  Netlist nl;
+  nl.addMultiPin("t", {Pin{{{2, 5, 0}}}, Pin{{{5, 5, 0}}},
+                       Pin{{{18, 5, 0}}}});  // tap behind the wall
+  OverlayAwareRouter router(grid, nl);
+  const RoutingStats s = router.run();
+  EXPECT_EQ(s.routedNets, 0);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,126 @@
+// Tests for the netlist model, text I/O, and the benchmark generator.
+#include "netlist/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sadp {
+namespace {
+
+TEST(Netlist, AddAssignsIds) {
+  Netlist nl;
+  nl.add("a", Pin{{{0, 0, 0}}}, Pin{{{5, 5, 0}}});
+  nl.add("b", Pin{{{1, 1, 0}}}, Pin{{{6, 6, 0}}});
+  EXPECT_EQ(nl.nets[0].id, 0);
+  EXPECT_EQ(nl.nets[1].id, 1);
+  EXPECT_TRUE(nl.nets[0].source.fixed());
+}
+
+TEST(Netlist, AddRejectsEmptyPins) {
+  Netlist nl;
+  EXPECT_THROW(nl.add("x", Pin{}, Pin{{{0, 0, 0}}}), std::invalid_argument);
+}
+
+TEST(Netlist, RoundTripIo) {
+  Netlist nl;
+  nl.add("n0", Pin{{{0, 0, 0}, {1, 0, 0}}}, Pin{{{5, 5, 2}}});
+  nl.add("n1", Pin{{{3, 4, 1}}}, Pin{{{7, 8, 0}, {7, 9, 0}, {8, 8, 0}}});
+  std::stringstream ss;
+  writeNetlist(ss, nl);
+  const Netlist back = readNetlist(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.nets[0].name, "n0");
+  EXPECT_EQ(back.nets[0].source.candidates.size(), 2u);
+  EXPECT_EQ(back.nets[0].source.candidates[1], (GridNode{1, 0, 0}));
+  EXPECT_EQ(back.nets[1].target.candidates.size(), 3u);
+  EXPECT_EQ(back.nets[1].source.candidates[0], (GridNode{3, 4, 1}));
+}
+
+TEST(Netlist, ReadRejectsGarbage) {
+  std::stringstream ss("not-a-netlist v9 1");
+  EXPECT_THROW(readNetlist(ss), std::runtime_error);
+  std::stringstream ss2("sadp-netlist v1 2\nn0 0,0,0 1,1,0\n");
+  EXPECT_THROW(readNetlist(ss2), std::runtime_error);  // truncated
+}
+
+TEST(Benchmark, PaperSuiteShape) {
+  const auto specs = paperBenchmarks();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[0].name, "Test1");
+  EXPECT_EQ(specs[0].netCount, 1500);
+  EXPECT_EQ(specs[0].width, 170);   // 6.8 um at 40 nm pitch
+  EXPECT_EQ(specs[0].pinCandidates, 1);
+  EXPECT_EQ(specs[4].netCount, 28000);
+  EXPECT_EQ(specs[4].width, 900);   // 36 um
+  EXPECT_EQ(specs[5].pinCandidates, 3);  // Test6: multi-candidate
+  EXPECT_EQ(specs[9].name, "Test10");
+  EXPECT_NO_THROW(paperBenchmark("Test3"));
+  EXPECT_THROW(paperBenchmark("Test11"), std::invalid_argument);
+}
+
+TEST(Benchmark, GenerationIsDeterministic) {
+  const BenchmarkSpec spec = paperBenchmark("Test1").scaled(0.1);
+  const BenchmarkInstance a = makeBenchmark(spec);
+  const BenchmarkInstance b = makeBenchmark(spec);
+  ASSERT_EQ(a.netlist.size(), b.netlist.size());
+  for (std::size_t i = 0; i < a.netlist.size(); ++i) {
+    EXPECT_EQ(a.netlist.nets[i].source.candidates,
+              b.netlist.nets[i].source.candidates);
+    EXPECT_EQ(a.netlist.nets[i].target.candidates,
+              b.netlist.nets[i].target.candidates);
+  }
+}
+
+TEST(Benchmark, PinsAreDistinctAndFree) {
+  const BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test1").scaled(0.2));
+  std::set<std::tuple<Track, Track, int>> seen;
+  for (const Net& n : inst.netlist.nets) {
+    for (const Pin* p : {&n.source, &n.target}) {
+      for (const GridNode& c : p->candidates) {
+        EXPECT_TRUE(inst.grid.inBounds(c));
+        EXPECT_FALSE(inst.grid.isBlocked(c));
+        EXPECT_TRUE(seen.insert({c.x, c.y, c.layer}).second)
+            << "duplicate pin node";
+      }
+    }
+  }
+}
+
+TEST(Benchmark, MultiCandidateSpecsProduceCandidates) {
+  const BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test6").scaled(0.15));
+  std::size_t multi = 0;
+  for (const Net& n : inst.netlist.nets) {
+    if (n.source.candidates.size() > 1) ++multi;
+  }
+  // The generator tries for 3 candidates; most pins should get extras.
+  EXPECT_GT(multi, inst.netlist.size() / 2);
+}
+
+TEST(Benchmark, ScalingKeepsDensity) {
+  const BenchmarkSpec base = paperBenchmark("Test2");
+  const BenchmarkSpec s = base.scaled(0.25);
+  const double baseDensity =
+      double(base.netCount) / (double(base.width) * base.height);
+  const double sDensity = double(s.netCount) / (double(s.width) * s.height);
+  EXPECT_NEAR(sDensity / baseDensity, 1.0, 0.15);
+  EXPECT_THROW(base.scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(base.scaled(1.5), std::invalid_argument);
+}
+
+TEST(Benchmark, BlockagesPainted) {
+  const BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test1").scaled(0.2));
+  std::size_t blocked = 0;
+  for (Track y = 0; y < inst.grid.height(); ++y) {
+    for (Track x = 0; x < inst.grid.width(); ++x) {
+      if (inst.grid.isBlocked({x, y, 0})) ++blocked;
+    }
+  }
+  EXPECT_GT(blocked, 0u);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,230 @@
+// Property-based suites: invariants that must hold across randomized and
+// parameterized inputs (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "color/flipping.hpp"
+#include "netlist/benchmark.hpp"
+#include "route/router.hpp"
+#include "sadp/decompose.hpp"
+
+namespace sadp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property 1: the classifier is symmetric up to the CS/SC permutation.
+namespace {
+/// Random thin wire fragment inside a 16x16 track window.
+Fragment randomWire(std::mt19937& rng, NetId net) {
+  std::uniform_int_distribution<Track> pos(0, 12);
+  std::uniform_int_distribution<Track> len(1, 6);
+  std::uniform_int_distribution<int> horiz(0, 1);
+  const Track x = pos(rng), y = pos(rng), l = len(rng);
+  if (horiz(rng)) return Fragment{x, y, Track(x + l), Track(y + 1), net};
+  return Fragment{x, y, Track(x + 1), Track(y + l), net};
+}
+}  // namespace
+
+TEST(Property, ClassifySymmetry) {
+  std::mt19937 rng(101);
+  int dependentSeen = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const Fragment a = randomWire(rng, 1);
+    const Fragment b = randomWire(rng, 2);
+    const Classification ab = classify(a, b);
+    const Classification ba = classify(b, a);
+    ASSERT_EQ(ab.type, ba.type);
+    ASSERT_EQ(ab.overlay[0], ba.overlay[0]);
+    ASSERT_EQ(ab.overlay[3], ba.overlay[3]);
+    ASSERT_EQ(ab.overlay[1], ba.overlay[2]);
+    ASSERT_EQ(ab.overlay[2], ba.overlay[1]);
+    ASSERT_EQ(ab.cutRisk[1], ba.cutRisk[2]);
+    if (!ab.independent()) ++dependentSeen;
+  }
+  EXPECT_GT(dependentSeen, 50);  // the sweep actually exercises scenarios
+}
+
+// Property 2: classification is translation-invariant.
+TEST(Property, ClassifyTranslationInvariance) {
+  std::mt19937 rng(102);
+  std::uniform_int_distribution<Track> shift(-40, 40);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Fragment a = randomWire(rng, 1);
+    Fragment b = randomWire(rng, 2);
+    const Classification base = classify(a, b);
+    const Track dx = shift(rng), dy = shift(rng);
+    for (Fragment* f : {&a, &b}) {
+      f->xlo += dx;
+      f->xhi += dx;
+      f->ylo += dy;
+      f->yhi += dy;
+    }
+    const Classification moved = classify(a, b);
+    ASSERT_EQ(base.type, moved.type);
+    ASSERT_EQ(base.overlay, moved.overlay);
+  }
+}
+
+// Property 3: decomposition of any colored pair never eats metal and the
+// masks partition the window (metal, spacer, cut are disjoint and cover).
+TEST(Property, MaskPartition) {
+  std::mt19937 rng(103);
+  std::uniform_int_distribution<Track> d(0, 6);
+  std::uniform_int_distribution<int> colorD(0, 1);
+  const DesignRules rules;
+  for (int iter = 0; iter < 120; ++iter) {
+    std::vector<ColoredFragment> frags;
+    for (int i = 0; i < 3; ++i) {
+      const Track x = d(rng), y = Track(d(rng) * 2);
+      frags.push_back({Fragment{x, y, Track(x + 2 + d(rng)), y + 1,
+                                NetId(i + 1)},
+                       colorD(rng) ? Color::Second : Color::Core});
+    }
+    const LayerDecomposition dec = decomposeLayer(frags, rules);
+    for (int y = 0; y < dec.target.height(); ++y) {
+      for (int x = 0; x < dec.target.width(); ++x) {
+        const int t = dec.target.get(x, y);
+        const int s = dec.spacer.get(x, y);
+        const int c = dec.cut.get(x, y);
+        ASSERT_EQ(t + s + c, 1)
+            << "pixel (" << x << "," << y << ") iter " << iter;
+      }
+    }
+  }
+}
+
+// Property 4: the flipping DP never violates parity-hard constraints and
+// never increases total cost, for random graphs with hard chains.
+TEST(Property, FlipSafetyRandomGraphs) {
+  std::mt19937 rng(104);
+  std::uniform_int_distribution<int> vtx(0, 11);
+  std::uniform_int_distribution<int> cost(0, 5);
+  std::uniform_int_distribution<int> kind(0, 5);
+  for (int iter = 0; iter < 80; ++iter) {
+    OverlayConstraintGraph g;
+    for (int e = 0; e < 18; ++e) {
+      const int a = vtx(rng), b = vtx(rng);
+      if (a == b) continue;
+      Classification c;
+      switch (kind(rng)) {
+        case 0:
+          c.type = ScenarioType::T1a;
+          c.overlay = {kHardCost, 0, 0, kHardCost};
+          break;
+        case 1:
+          c.type = ScenarioType::T1b;
+          c.overlay = {0, kHardCost, kHardCost, 0};
+          break;
+        default:
+          c.type = ScenarioType::T3a;
+          c.overlay = {cost(rng), cost(rng), cost(rng), cost(rng)};
+          break;
+      }
+      g.addScenario(a, b, c);  // contradictions allowed; flagged internally
+    }
+    for (int v = 0; v < 12; ++v) {
+      if (g.findVertex(v) >= 0) g.pseudoColor(v);
+    }
+    const std::int64_t before = g.totalOverlayUnits();
+    colorFlip(g);
+    const std::int64_t after = g.totalOverlayUnits();
+    EXPECT_LE(after, before) << "iter " << iter;
+    if (!g.hasHardViolation()) {
+      for (const OcgEdge& e : g.edges()) {
+        if (!e.alive || !e.cls.hard()) continue;
+        const Color cu = g.colorOf(g.netOf(e.u));
+        const Color cv = g.colorOf(g.netOf(e.v));
+        // Parity-expressible hard edges must be satisfied.
+        const bool parityEdge =
+            (e.cls.overlay[0] >= kHardCost &&
+             e.cls.overlay[3] >= kHardCost) ||
+            (e.cls.overlay[1] >= kHardCost && e.cls.overlay[2] >= kHardCost);
+        if (parityEdge && cu != Color::Unassigned &&
+            cv != Color::Unassigned) {
+          EXPECT_LT(e.cls.overlay[assignmentIndex(cu, cv)], kHardCost)
+              << "iter " << iter;
+        }
+      }
+    }
+  }
+}
+
+// Property 5 (parameterized): the router's grid occupancy matches its path
+// bookkeeping at several benchmark scales.
+class RouterScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RouterScaleSweep, OccupancyConsistency) {
+  const BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test1").scaled(GetParam()));
+  RoutingGrid grid = inst.grid;
+  OverlayAwareRouter router(grid, inst.netlist);
+  const RoutingStats s = router.run();
+  EXPECT_EQ(s.totalNets, int(inst.netlist.size()));
+
+  // Every routed path node is owned by its net; wirelength bookkeeping
+  // matches the stored paths.
+  std::int64_t wl = 0;
+  int vias = 0;
+  int routed = 0;
+  for (const Net& n : inst.netlist.nets) {
+    const NetRouteState& st = router.netStates()[n.id];
+    if (!st.routed) continue;
+    ++routed;
+    for (const GridNode& node : st.path) {
+      EXPECT_EQ(grid.owner(node), n.id);
+    }
+    for (std::size_t i = 1; i < st.path.size(); ++i) {
+      if (st.path[i].layer != st.path[i - 1].layer) {
+        ++vias;
+      } else {
+        ++wl;
+      }
+    }
+  }
+  EXPECT_EQ(routed, s.routedNets);
+  EXPECT_EQ(wl, s.wirelength);
+  EXPECT_EQ(vias, s.vias);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RouterScaleSweep,
+                         ::testing::Values(0.02, 0.04, 0.08));
+
+// Property 6 (parameterized): every paper benchmark spec generates a valid
+// instance whose pins are routable endpoints.
+class BenchmarkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchmarkSweep, SpecGeneratesValidInstance) {
+  const auto specs = paperBenchmarks();
+  const BenchmarkSpec spec = specs[GetParam()].scaled(0.03);
+  const BenchmarkInstance inst = makeBenchmark(spec);
+  EXPECT_GT(inst.netlist.size(), 0u);
+  EXPECT_LE(int(inst.netlist.size()), spec.netCount);
+  for (const Net& n : inst.netlist.nets) {
+    EXPECT_GE(int(n.source.candidates.size()), 1);
+    if (spec.pinCandidates > 1) {
+      EXPECT_LE(int(n.source.candidates.size()), spec.pinCandidates);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperCircuits, BenchmarkSweep,
+                         ::testing::Range(0, 10));
+
+// Property 7: decomposing the same fragments twice is bit-identical.
+TEST(Property, DecompositionDeterminism) {
+  const BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test1").scaled(0.04));
+  RoutingGrid grid = inst.grid;
+  OverlayAwareRouter router(grid, inst.netlist);
+  router.run();
+  const LayerDecomposition a = router.decompose(0);
+  const LayerDecomposition b = router.decompose(0);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.coreMask, b.coreMask);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.report.sideOverlayNm, b.report.sideOverlayNm);
+}
+
+}  // namespace
+}  // namespace sadp

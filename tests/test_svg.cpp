@@ -1,0 +1,70 @@
+// Tests for the SVG layer renderer.
+#include "sadp/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace sadp {
+namespace {
+
+TEST(Svg, EmitsWellFormedDocument) {
+  const DesignRules rules;
+  std::vector<ColoredFragment> frags{
+      {Fragment{0, 0, 6, 1, 1}, Color::Core},
+      {Fragment{0, 2, 6, 3, 2}, Color::Second},
+  };
+  const LayerDecomposition d = decomposeLayer(frags, rules);
+  std::ostringstream os;
+  writeLayerSvg(os, d, frags, rules);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("<svg", 0), 0u);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  // Both metal colors present.
+  EXPECT_NE(s.find("#2b5fad"), std::string::npos);  // core blue
+  EXPECT_NE(s.find("#3d9943"), std::string::npos);  // second green
+  // Deterministic output.
+  std::ostringstream os2;
+  writeLayerSvg(os2, d, frags, rules);
+  EXPECT_EQ(s, os2.str());
+}
+
+TEST(Svg, OptionsToggleLayers) {
+  const DesignRules rules;
+  std::vector<ColoredFragment> frags{{Fragment{0, 0, 6, 1, 1}, Color::Core}};
+  const LayerDecomposition d = decomposeLayer(frags, rules);
+  SvgOptions noSpacer;
+  noSpacer.drawSpacer = false;
+  std::ostringstream a, b;
+  writeLayerSvg(a, d, frags, rules);
+  writeLayerSvg(b, d, frags, rules, noSpacer);
+  EXPECT_GT(a.str().size(), b.str().size());
+  EXPECT_NE(a.str().find("#c8c8c8"), std::string::npos);
+  EXPECT_EQ(b.str().find("#c8c8c8"), std::string::npos);
+}
+
+TEST(Svg, FileWriterCreatesFile) {
+  const DesignRules rules;
+  std::vector<ColoredFragment> frags{{Fragment{0, 0, 4, 1, 1}, Color::Core}};
+  const LayerDecomposition d = decomposeLayer(frags, rules);
+  const std::string path = testing::TempDir() + "/sadp_svg_test.svg";
+  writeLayerSvgFile(path, d, frags, rules);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  EXPECT_THROW(
+      writeLayerSvgFile("/nonexistent-dir/x.svg", d, frags, rules),
+      std::runtime_error);
+}
+
+TEST(Svg, EmptyLayoutStillValid) {
+  const DesignRules rules;
+  std::vector<ColoredFragment> frags;
+  const LayerDecomposition d = decomposeLayer(frags, rules);
+  std::ostringstream os;
+  writeLayerSvg(os, d, frags, rules);
+  EXPECT_NE(os.str().find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sadp

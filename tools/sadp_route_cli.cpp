@@ -1,0 +1,155 @@
+// Command-line front end: route a netlist file and emit reports/artwork.
+//
+//   sadp_route_cli --nets design.nets --width 170 --height 170 [options]
+//
+// Options:
+//   --nets FILE         netlist in the sadp-netlist text format (required)
+//   --width N           grid width in tracks  (required)
+//   --height N          grid height in tracks (required)
+//   --layers N          routing layers (default 3)
+//   --svg PREFIX        write PREFIX<layer>.svg artwork per layer
+//   --masks PREFIX      write PREFIX<layer>.masks rectangle files
+//   --csv FILE          append a result row as CSV
+//   --no-flip           disable color flipping
+//   --no-cut-check      disable the windowed cut-conflict check
+//   --no-repair         disable the post-pass violation repair
+//   --seed-demo N       ignore --nets and generate a demo instance with N
+//                       nets on the given grid instead
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "netlist/benchmark.hpp"
+#include "route/router.hpp"
+#include "sadp/mask_io.hpp"
+#include "sadp/svg.hpp"
+
+using namespace sadp;
+
+namespace {
+
+struct CliArgs {
+  std::string netsFile;
+  Track width = 0;
+  Track height = 0;
+  int layers = 3;
+  std::string svgPrefix;
+  std::string maskPrefix;
+  std::string csvFile;
+  int seedDemo = 0;
+  RouterOptions router;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: sadp_route_cli --nets FILE --width N --height N\n"
+               "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
+               "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
+               "       [--no-repair] [--seed-demo N]\n";
+  std::exit(2);
+}
+
+CliArgs parse(int argc, char** argv) {
+  CliArgs a;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--nets") {
+      a.netsFile = value(i);
+    } else if (opt == "--width") {
+      a.width = Track(std::atoi(value(i)));
+    } else if (opt == "--height") {
+      a.height = Track(std::atoi(value(i)));
+    } else if (opt == "--layers") {
+      a.layers = std::atoi(value(i));
+    } else if (opt == "--svg") {
+      a.svgPrefix = value(i);
+    } else if (opt == "--masks") {
+      a.maskPrefix = value(i);
+    } else if (opt == "--csv") {
+      a.csvFile = value(i);
+    } else if (opt == "--no-flip") {
+      a.router.enableColorFlip = false;
+      a.router.finalGlobalFlip = false;
+    } else if (opt == "--no-cut-check") {
+      a.router.enableCutCheck = false;
+    } else if (opt == "--no-repair") {
+      a.router.enableRepair = false;
+    } else if (opt == "--seed-demo") {
+      a.seedDemo = std::atoi(value(i));
+    } else if (opt == "--help" || opt == "-h") {
+      usage();
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (a.width <= 0 || a.height <= 0) usage("--width/--height required");
+  if (a.netsFile.empty() && a.seedDemo <= 0) usage("--nets required");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = parse(argc, argv);
+
+  Netlist netlist;
+  if (args.seedDemo > 0) {
+    BenchmarkSpec spec;
+    spec.name = "demo";
+    spec.netCount = args.seedDemo;
+    spec.width = args.width;
+    spec.height = args.height;
+    spec.layers = args.layers;
+    netlist = makeBenchmark(spec).netlist;
+  } else {
+    std::ifstream f(args.netsFile);
+    if (!f) {
+      std::cerr << "cannot open " << args.netsFile << "\n";
+      return 1;
+    }
+    netlist = readNetlist(f);
+  }
+
+  RoutingGrid grid(args.width, args.height, args.layers, DesignRules{});
+  OverlayAwareRouter router(grid, netlist, args.router);
+  const RoutingStats stats = router.run();
+  const OverlayReport report = router.physicalReport();
+
+  std::cout << "nets        " << stats.totalNets << "\n"
+            << "routed      " << stats.routedNets << " ("
+            << stats.routability() << "%)\n"
+            << "wirelength  " << stats.wirelength << " tracks, "
+            << stats.vias << " vias, " << stats.ripUps << " rip-ups\n"
+            << "overlay     " << report.sideOverlayNm << " nm in "
+            << report.sideOverlaySections << " sections ("
+            << report.hardOverlays << " hard)\n"
+            << "tip overlays " << report.tipOverlays << "\n"
+            << "cut conflicts " << report.cutConflicts() << "\n";
+
+  for (int layer = 0; layer < grid.layers(); ++layer) {
+    if (!args.svgPrefix.empty() || !args.maskPrefix.empty()) {
+      const LayerDecomposition d = router.decompose(layer);
+      if (!args.svgPrefix.empty()) {
+        const auto frags = router.coloredFragments(layer);
+        writeLayerSvgFile(args.svgPrefix + std::to_string(layer) + ".svg", d,
+                          frags, grid.rules());
+      }
+      if (!args.maskPrefix.empty()) {
+        std::ofstream mf(args.maskPrefix + std::to_string(layer) + ".masks");
+        writeMasks(mf, d, layer);
+      }
+    }
+  }
+  if (!args.csvFile.empty()) {
+    std::ofstream cf(args.csvFile, std::ios::app);
+    cf << stats.totalNets << ',' << stats.routability() << ','
+       << report.sideOverlayNm << ',' << report.cutConflicts() << ','
+       << report.hardOverlays << "\n";
+  }
+  return report.cutConflicts() == 0 && report.hardOverlays == 0 ? 0 : 3;
+}
