@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_flip_playground.dir/color_flip_playground.cpp.o"
+  "CMakeFiles/color_flip_playground.dir/color_flip_playground.cpp.o.d"
+  "color_flip_playground"
+  "color_flip_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_flip_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

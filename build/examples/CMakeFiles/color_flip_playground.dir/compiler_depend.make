@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for color_flip_playground.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odd_cycle_demo.dir/odd_cycle_demo.cpp.o"
+  "CMakeFiles/odd_cycle_demo.dir/odd_cycle_demo.cpp.o.d"
+  "odd_cycle_demo"
+  "odd_cycle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odd_cycle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/sadp_baselines.dir/baselines.cpp.o.d"
+  "libsadp_baselines.a"
+  "libsadp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

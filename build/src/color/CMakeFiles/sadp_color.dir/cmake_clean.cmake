@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_color.dir/flipping.cpp.o"
+  "CMakeFiles/sadp_color.dir/flipping.cpp.o.d"
+  "libsadp_color.a"
+  "libsadp_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_eval.dir/eval.cpp.o"
+  "CMakeFiles/sadp_eval.dir/eval.cpp.o.d"
+  "libsadp_eval.a"
+  "libsadp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_geom.dir/geom.cpp.o"
+  "CMakeFiles/sadp_geom.dir/geom.cpp.o.d"
+  "libsadp_geom.a"
+  "libsadp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_grid.dir/routing_grid.cpp.o"
+  "CMakeFiles/sadp_grid.dir/routing_grid.cpp.o.d"
+  "libsadp_grid.a"
+  "libsadp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_netlist.dir/benchmark.cpp.o"
+  "CMakeFiles/sadp_netlist.dir/benchmark.cpp.o.d"
+  "CMakeFiles/sadp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sadp_netlist.dir/netlist.cpp.o.d"
+  "libsadp_netlist.a"
+  "libsadp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

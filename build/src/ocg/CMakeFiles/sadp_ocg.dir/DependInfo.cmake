@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocg/graph.cpp" "src/ocg/CMakeFiles/sadp_ocg.dir/graph.cpp.o" "gcc" "src/ocg/CMakeFiles/sadp_ocg.dir/graph.cpp.o.d"
+  "/root/repo/src/ocg/overlay_model.cpp" "src/ocg/CMakeFiles/sadp_ocg.dir/overlay_model.cpp.o" "gcc" "src/ocg/CMakeFiles/sadp_ocg.dir/overlay_model.cpp.o.d"
+  "/root/repo/src/ocg/scenario.cpp" "src/ocg/CMakeFiles/sadp_ocg.dir/scenario.cpp.o" "gcc" "src/ocg/CMakeFiles/sadp_ocg.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sadp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

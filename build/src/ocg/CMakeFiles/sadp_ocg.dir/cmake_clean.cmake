@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_ocg.dir/graph.cpp.o"
+  "CMakeFiles/sadp_ocg.dir/graph.cpp.o.d"
+  "CMakeFiles/sadp_ocg.dir/overlay_model.cpp.o"
+  "CMakeFiles/sadp_ocg.dir/overlay_model.cpp.o.d"
+  "CMakeFiles/sadp_ocg.dir/scenario.cpp.o"
+  "CMakeFiles/sadp_ocg.dir/scenario.cpp.o.d"
+  "libsadp_ocg.a"
+  "libsadp_ocg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_ocg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_route.dir/astar.cpp.o"
+  "CMakeFiles/sadp_route.dir/astar.cpp.o.d"
+  "CMakeFiles/sadp_route.dir/router.cpp.o"
+  "CMakeFiles/sadp_route.dir/router.cpp.o.d"
+  "libsadp_route.a"
+  "libsadp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsadp_route.a"
+)

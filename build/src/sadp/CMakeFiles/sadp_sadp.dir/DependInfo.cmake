@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sadp/bitmap.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/bitmap.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/bitmap.cpp.o.d"
+  "/root/repo/src/sadp/decompose.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/decompose.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/decompose.cpp.o.d"
+  "/root/repo/src/sadp/mask_io.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/mask_io.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/mask_io.cpp.o.d"
+  "/root/repo/src/sadp/svg.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/svg.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/svg.cpp.o.d"
+  "/root/repo/src/sadp/trim.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/trim.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/trim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocg/CMakeFiles/sadp_ocg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sadp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_sadp.dir/bitmap.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/bitmap.cpp.o.d"
+  "CMakeFiles/sadp_sadp.dir/decompose.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/decompose.cpp.o.d"
+  "CMakeFiles/sadp_sadp.dir/mask_io.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/mask_io.cpp.o.d"
+  "CMakeFiles/sadp_sadp.dir/svg.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/svg.cpp.o.d"
+  "CMakeFiles/sadp_sadp.dir/trim.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/trim.cpp.o.d"
+  "libsadp_sadp.a"
+  "libsadp_sadp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_sadp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

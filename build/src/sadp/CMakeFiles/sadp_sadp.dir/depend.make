@@ -1,0 +1,2 @@
+# Empty dependencies file for sadp_sadp.
+# This may be replaced when dependencies are built.

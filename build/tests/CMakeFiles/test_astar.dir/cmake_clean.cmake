@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astar.dir/test_astar.cpp.o"
+  "CMakeFiles/test_astar.dir/test_astar.cpp.o.d"
+  "test_astar"
+  "test_astar.pdb"
+  "test_astar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astar_targets.dir/test_astar_targets.cpp.o"
+  "CMakeFiles/test_astar_targets.dir/test_astar_targets.cpp.o.d"
+  "test_astar_targets"
+  "test_astar_targets.pdb"
+  "test_astar_targets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astar_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

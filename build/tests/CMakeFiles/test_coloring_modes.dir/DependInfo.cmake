@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coloring_modes.cpp" "tests/CMakeFiles/test_coloring_modes.dir/test_coloring_modes.cpp.o" "gcc" "tests/CMakeFiles/test_coloring_modes.dir/test_coloring_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sadp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sadp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/sadp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/color/CMakeFiles/sadp_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadp/CMakeFiles/sadp_sadp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocg/CMakeFiles/sadp_ocg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sadp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sadp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloring_modes.dir/test_coloring_modes.cpp.o"
+  "CMakeFiles/test_coloring_modes.dir/test_coloring_modes.cpp.o.d"
+  "test_coloring_modes"
+  "test_coloring_modes.pdb"
+  "test_coloring_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloring_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flipping.dir/test_flipping.cpp.o"
+  "CMakeFiles/test_flipping.dir/test_flipping.cpp.o.d"
+  "test_flipping"
+  "test_flipping.pdb"
+  "test_flipping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_io.dir/test_mask_io.cpp.o"
+  "CMakeFiles/test_mask_io.dir/test_mask_io.cpp.o.d"
+  "test_mask_io"
+  "test_mask_io.pdb"
+  "test_mask_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipin.dir/test_multipin.cpp.o"
+  "CMakeFiles/test_multipin.dir/test_multipin.cpp.o.d"
+  "test_multipin"
+  "test_multipin.pdb"
+  "test_multipin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

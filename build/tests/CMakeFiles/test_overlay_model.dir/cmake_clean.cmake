@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_model.dir/test_overlay_model.cpp.o"
+  "CMakeFiles/test_overlay_model.dir/test_overlay_model.cpp.o.d"
+  "test_overlay_model"
+  "test_overlay_model.pdb"
+  "test_overlay_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

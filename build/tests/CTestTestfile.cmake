@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_decompose[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_flipping[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_bitmap[1]_include.cmake")
+include("/root/repo/build/tests/test_astar[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay_model[1]_include.cmake")
+include("/root/repo/build/tests/test_router[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_svg[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_appendix[1]_include.cmake")
+include("/root/repo/build/tests/test_multipin[1]_include.cmake")
+include("/root/repo/build/tests/test_mask_io[1]_include.cmake")
+include("/root/repo/build/tests/test_repair[1]_include.cmake")
+include("/root/repo/build/tests/test_decompose_options[1]_include.cmake")
+include("/root/repo/build/tests/test_trim[1]_include.cmake")
+include("/root/repo/build/tests/test_coloring_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_astar_targets[1]_include.cmake")
