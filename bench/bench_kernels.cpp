@@ -1,14 +1,27 @@
 // Micro-benchmarks (google-benchmark) of the core kernels: scenario
-// classification, parity union-find, A*-search, color-flipping DP, and
-// mask synthesis. These back the complexity claims of §III-E.
+// classification, parity union-find, A*-search, color-flipping DP, the
+// bit-packed raster primitives, and mask synthesis. These back the
+// complexity claims of §III-E and the kernel-performance trajectory in
+// EXPERIMENTS.md.
+//
+// `--json <path>` (or `--json=<path>`) additionally writes the per-kernel
+// ns/op results as machine-readable JSON (the BENCH_kernels.json schema),
+// so perf regressions are diffable across PRs; see tools/bench_smoke.sh.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "color/flipping.hpp"
+#include "netlist/benchmark.hpp"
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
+#include "route/router.hpp"
 #include "sadp/decompose.hpp"
+#include "util/parallel_for.hpp"
 
 namespace sadp {
 namespace {
@@ -80,6 +93,64 @@ void BM_ColorFlipChain(benchmark::State& state) {
 }
 BENCHMARK(BM_ColorFlipChain)->Arg(256)->Arg(4096);
 
+// ---- Bit-packed raster primitives -----------------------------------------
+
+/// Pseudo-random layout-like raster: horizontal wire runs plus stub noise.
+Bitmap wireRaster(int w, int h, std::uint32_t seed) {
+  Bitmap b(w, h);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dx(0, w - 1), dy(0, h - 1),
+      len(4, w / 2);
+  for (int i = 0; i < (w * h) / 256; ++i) {
+    const int x = dx(rng), y = dy(rng);
+    b.fillRect(x, y, std::min(w, x + len(rng)), std::min(h, y + 2));
+  }
+  return b;
+}
+
+void BM_BitmapDilate(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const Bitmap b = wireRaster(n, n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.dilated(2));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitmapDilate)->Arg(256)->Arg(1024);
+
+void BM_BitmapOpenAnchored(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const Bitmap b = wireRaster(n, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.openedAnchored(2));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitmapOpenAnchored)->Arg(256)->Arg(1024);
+
+void BM_ComponentBoxes(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const Bitmap b = wireRaster(n, n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(componentBoxes(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ComponentBoxes)->Arg(256)->Arg(1024);
+
+void BM_RasterToNmRects(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const Bitmap b = wireRaster(n, n, 10);
+  const Rect window{0, 0, n * 10, n * 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rasterToNmRects(b, window));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RasterToNmRects)->Arg(256)->Arg(1024);
+
+// ---- Mask synthesis -------------------------------------------------------
+
 void BM_DecomposeLayer(benchmark::State& state) {
   const Track rowsN = Track(state.range(0));
   std::vector<ColoredFragment> frags;
@@ -96,7 +167,106 @@ void BM_DecomposeLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_DecomposeLayer)->Arg(16)->Arg(64);
 
+// ---- Full-chip physical report (per-layer parallel) ------------------------
+
+/// One routed multi-layer instance shared by the report benchmarks.
+const OverlayAwareRouter& routedInstance() {
+  static BenchmarkInstance inst =
+      makeBenchmark(paperBenchmark("Test2").scaled(0.3));
+  static OverlayAwareRouter* router = [] {
+    auto* r = new OverlayAwareRouter(inst.grid, inst.netlist);
+    r->run();
+    return r;
+  }();
+  return *router;
+}
+
+void BM_PhysicalReport(benchmark::State& state) {
+  const OverlayAwareRouter& router = routedInstance();
+  setParallelThreads(int(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.physicalReport());
+  }
+  setParallelThreads(0);
+}
+BENCHMARK(BM_PhysicalReport)->Arg(1)->Arg(4)->ArgName("threads");
+
+// ---- JSON result collection ------------------------------------------------
+
+/// Console reporter that additionally collects per-benchmark adjusted
+/// real/cpu ns and writes the BENCH_kernels.json schema consumed by
+/// future-PR comparisons. (Collecting via the display reporter avoids
+/// google-benchmark's requirement that file reporters pair with
+/// --benchmark_out.)
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      if (r.error_occurred) continue;
+      results_.push_back({r.benchmark_name(), r.GetAdjustedRealTime(),
+                          r.GetAdjustedCPUTime()});
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << "{\n  \"bench\": \"bench_kernels\",\n  \"schema\": 1,\n"
+      << "  \"unit\": \"ns\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      f << "    {\"name\": \"" << r.name << "\", \"real_ns\": " << r.realNs
+        << ", \"cpu_ns\": " << r.cpuNs << "}"
+        << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    return bool(f);
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    double realNs = 0;
+    double cpuNs = 0;
+  };
+  std::vector<Result> results_;
+};
+
 }  // namespace
 }  // namespace sadp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json[=| ]<path> before google-benchmark parses the flags.
+  std::string jsonPath;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      jsonPath = a.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filteredArgc = int(args.size());
+  benchmark::Initialize(&filteredArgc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filteredArgc, args.data())) {
+    return 1;
+  }
+  if (jsonPath.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    sadp::JsonCollector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+    if (!collector.write(jsonPath)) {
+      std::fprintf(stderr, "bench_kernels: cannot write %s\n",
+                   jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench_kernels: wrote %s\n", jsonPath.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

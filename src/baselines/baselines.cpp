@@ -1,8 +1,10 @@
 #include "baselines/baselines.hpp"
 
 #include <chrono>
+#include <vector>
 
 #include "sadp/trim.hpp"
+#include "util/parallel_for.hpp"
 
 namespace sadp {
 
@@ -36,10 +38,15 @@ BaselineResult measure(OverlayAwareRouter& router, const RoutingStats& stats,
   r.stats = stats;
   r.overlayUnits = router.model().totalOverlayUnits();
   if (trimProcess) {
-    for (int layer = 0; layer < router.grid().layers(); ++layer) {
-      const TrimReport t = decomposeTrimLayer(router.coloredFragments(layer),
-                                              router.grid().rules())
-                               .report;
+    const int layers = router.grid().layers();
+    std::vector<TrimReport> perLayer(std::size_t(layers), TrimReport{});
+    parallelFor(layers, [&](int layer) {
+      perLayer[std::size_t(layer)] =
+          decomposeTrimLayer(router.coloredFragments(layer),
+                             router.grid().rules())
+              .report;
+    });
+    for (const TrimReport& t : perLayer) {
       r.physical.sideOverlayNm += t.sideOverlayNm;
       r.physical.sideOverlaySections += t.sideOverlaySections;
       r.physical.hardOverlays += t.hardOverlays;
@@ -189,7 +196,8 @@ BaselineResult runDuGraphModel(RoutingGrid& grid, const Netlist& netlist,
   result.overlayUnits = model.totalOverlayUnits();
   // Trim-process sign-off (Du et al. target SID/trim without assists).
   const DesignRules& rules = grid.rules();
-  for (int layer = 0; layer < grid.layers(); ++layer) {
+  std::vector<TrimReport> perLayer(std::size_t(grid.layers()));
+  parallelFor(grid.layers(), [&](int layer) {
     std::vector<ColoredFragment> cfs;
     for (const Fragment& f : model.fragmentsInWindow(
              layer, Rect{0, 0, grid.width(), grid.height()})) {
@@ -197,7 +205,9 @@ BaselineResult runDuGraphModel(RoutingGrid& grid, const Netlist& netlist,
       if (c == Color::Unassigned) c = Color::Core;
       cfs.push_back({f, c});
     }
-    const TrimReport t = decomposeTrimLayer(cfs, rules).report;
+    perLayer[std::size_t(layer)] = decomposeTrimLayer(cfs, rules).report;
+  });
+  for (const TrimReport& t : perLayer) {
     result.physical.sideOverlayNm += t.sideOverlayNm;
     result.physical.sideOverlaySections += t.sideOverlaySections;
     result.physical.hardOverlays += t.hardOverlays;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel_for.hpp"
+
 namespace sadp {
 
 namespace {
@@ -320,8 +322,19 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
   const Nm pitch = rules.pitch();
   for (int pass = 0; pass < maxPasses; ++pass) {
     bool changed = false;
+    // Pass-start snapshots: all layers decompose in parallel. A snapshot is
+    // only valid while no repair action has mutated colors or routes since
+    // the pass started; `dirty` tracks that conservatively (set on every
+    // attempted reroute/teardown, not only kept ones, because a failed
+    // reroute still re-colors the restored net).
+    bool dirty = false;
+    std::vector<LayerDecomposition> snapshots(std::size_t(grid_->layers()));
+    parallelFor(grid_->layers(), [&](int l) {
+      snapshots[std::size_t(l)] = decompose(l);
+    });
     for (int layer = 0; layer < grid_->layers(); ++layer) {
-      const LayerDecomposition full = decompose(layer);
+      const LayerDecomposition full =
+          dirty ? decompose(layer) : std::move(snapshots[std::size_t(layer)]);
       std::vector<Rect> boxes = full.conflictBoxesNm;
       boxes.insert(boxes.end(), full.hardOverlayBoxesNm.begin(),
                    full.hardOverlayBoxesNm.end());
@@ -370,6 +383,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
           if (after < current) {
             current = after;
             changed = true;
+            dirty = true;
             if (current == 0) break;
           } else {
             g.setColor(n, base);
@@ -385,6 +399,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
         bool fixed = false;
         for (NetId n : candidates) {
           if (!states_[n].routed) continue;
+          dirty = true;  // a failed reroute still re-colors the restored net
           if (rerouteAway(netlist_->nets[n], tightTr, layer)) {
             changed = true;
             fixed = true;
@@ -402,6 +417,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             if (!states_[n].routed) continue;
             const int before = localViolations();
             const std::vector<GridNode> oldPath = states_[n].path;
+            dirty = true;  // restoreNet re-colors through pseudo-coloring
             tearDownNet(netlist_->nets[n]);
             if (localViolations() < before) {
               changed = true;
@@ -414,11 +430,14 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
     }
     if (!changed) break;
   }
-  int remaining = 0;
-  for (int layer = 0; layer < grid_->layers(); ++layer) {
+  std::vector<int> remainingPerLayer(std::size_t(grid_->layers()), 0);
+  parallelFor(grid_->layers(), [&](int layer) {
     const LayerDecomposition d = decompose(layer);
-    remaining += d.report.cutConflicts() + d.report.hardOverlays;
-  }
+    remainingPerLayer[std::size_t(layer)] =
+        d.report.cutConflicts() + d.report.hardOverlays;
+  });
+  int remaining = 0;
+  for (const int r : remainingPerLayer) remaining += r;
   return remaining;
 }
 
@@ -515,10 +534,14 @@ LayerDecomposition OverlayAwareRouter::decompose(
 
 OverlayReport OverlayAwareRouter::physicalReport(
     const DecomposeOptions& opts) const {
+  // Layers decompose independently; reduce in layer order so the report is
+  // identical for any thread count.
+  std::vector<OverlayReport> perLayer(std::size_t(grid_->layers()));
+  parallelFor(grid_->layers(), [&](int layer) {
+    perLayer[std::size_t(layer)] = decompose(layer, opts).report;
+  });
   OverlayReport total;
-  for (int layer = 0; layer < grid_->layers(); ++layer) {
-    total += decompose(layer, opts).report;
-  }
+  for (const OverlayReport& r : perLayer) total += r;
   return total;
 }
 

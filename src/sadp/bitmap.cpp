@@ -1,15 +1,17 @@
 #include "sadp/bitmap.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
-#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace sadp {
 
 std::size_t Bitmap::count() const {
-  return std::size_t(
-      std::count_if(px_.begin(), px_.end(), [](std::uint8_t v) { return v; }));
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) n += std::size_t(std::popcount(w));
+  return n;
 }
 
 void Bitmap::fillRect(int xlo, int ylo, int xhi, int yhi, bool v) {
@@ -17,9 +19,32 @@ void Bitmap::fillRect(int xlo, int ylo, int xhi, int yhi, bool v) {
   ylo = std::max(ylo, 0);
   xhi = std::min(xhi, w_);
   yhi = std::min(yhi, h_);
+  if (xlo >= xhi || ylo >= yhi) return;
+  const int j0 = xlo >> 6, j1 = (xhi - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t(0) << (xlo & 63);
+  const std::uint64_t last = (xhi & 63)
+                                 ? (std::uint64_t(1) << (xhi & 63)) - 1
+                                 : ~std::uint64_t(0);
   for (int y = ylo; y < yhi; ++y) {
-    std::fill(px_.begin() + std::size_t(y) * w_ + xlo,
-              px_.begin() + std::size_t(y) * w_ + xhi, std::uint8_t(v ? 1 : 0));
+    std::uint64_t* row = words_.data() + std::size_t(y) * wpr_;
+    if (j0 == j1) {
+      const std::uint64_t m = first & last;
+      if (v) {
+        row[j0] |= m;
+      } else {
+        row[j0] &= ~m;
+      }
+      continue;
+    }
+    if (v) {
+      row[j0] |= first;
+      for (int j = j0 + 1; j < j1; ++j) row[j] = ~std::uint64_t(0);
+      row[j1] |= last;
+    } else {
+      row[j0] &= ~first;
+      for (int j = j0 + 1; j < j1; ++j) row[j] = 0;
+      row[j1] &= ~last;
+    }
   }
 }
 
@@ -28,12 +53,23 @@ bool Bitmap::anyInRect(int xlo, int ylo, int xhi, int yhi) const {
   ylo = std::max(ylo, 0);
   xhi = std::min(xhi, w_);
   yhi = std::min(yhi, h_);
+  if (xlo >= xhi || ylo >= yhi) return false;
+  const int j0 = xlo >> 6, j1 = (xhi - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t(0) << (xlo & 63);
+  const std::uint64_t last = (xhi & 63)
+                                 ? (std::uint64_t(1) << (xhi & 63)) - 1
+                                 : ~std::uint64_t(0);
   for (int y = ylo; y < yhi; ++y) {
-    const auto row = px_.begin() + std::size_t(y) * w_;
-    if (std::any_of(row + xlo, row + xhi,
-                    [](std::uint8_t v) { return v != 0; })) {
-      return true;
+    const std::uint64_t* row = words_.data() + std::size_t(y) * wpr_;
+    if (j0 == j1) {
+      if (row[j0] & first & last) return true;
+      continue;
     }
+    if (row[j0] & first) return true;
+    for (int j = j0 + 1; j < j1; ++j) {
+      if (row[j]) return true;
+    }
+    if (row[j1] & last) return true;
   }
   return false;
 }
@@ -50,55 +86,107 @@ void checkSameDims(const Bitmap& a, const Bitmap& b) {
 
 Bitmap& Bitmap::operator|=(const Bitmap& o) {
   checkSameDims(*this, o);
-  for (std::size_t i = 0; i < px_.size(); ++i) px_[i] |= o.px_[i];
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& o) {
   checkSameDims(*this, o);
-  for (std::size_t i = 0; i < px_.size(); ++i) px_[i] &= o.px_[i];
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::andNot(const Bitmap& o) {
   checkSameDims(*this, o);
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    px_[i] = std::uint8_t(px_[i] & ~o.px_[i] & 1);
-  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::invert() {
-  for (auto& v : px_) v = std::uint8_t(v ? 0 : 1);
+  const std::uint64_t tail = tailMask();
+  for (int y = 0; y < h_; ++y) {
+    std::uint64_t* row = words_.data() + std::size_t(y) * wpr_;
+    for (int j = 0; j < wpr_; ++j) row[j] = ~row[j];
+    if (wpr_ > 0) row[wpr_ - 1] &= tail;
+  }
   return *this;
 }
 
 namespace {
 
-/// Separable 1-D max filter of radius r along rows (horizontal pass).
-void maxRows(const std::vector<std::uint8_t>& in, std::vector<std::uint8_t>& out,
-             int w, int h, int r) {
-  for (int y = 0; y < h; ++y) {
-    const std::size_t base = std::size_t(y) * w;
-    for (int x = 0; x < w; ++x) {
-      std::uint8_t m = 0;
-      const int lo = std::max(0, x - r);
-      const int hi = std::min(w - 1, x + r);
-      for (int k = lo; k <= hi && !m; ++k) m = in[base + k];
-      out[base + x] = m;
+/// out[x] = in[x + d] within one packed row, zero-filling beyond the row.
+void shiftRowInto(const std::uint64_t* in, std::uint64_t* out, int wpr,
+                  int d) {
+  if (d == 0) {
+    std::copy(in, in + wpr, out);
+    return;
+  }
+  if (d > 0) {
+    const int wo = d >> 6, bo = d & 63;
+    for (int j = 0; j < wpr; ++j) {
+      const int s = j + wo;
+      std::uint64_t v = (s < wpr) ? (in[s] >> bo) : 0;
+      if (bo && s + 1 < wpr) v |= in[s + 1] << (64 - bo);
+      out[j] = v;
+    }
+  } else {
+    const int wo = (-d) >> 6, bo = (-d) & 63;
+    for (int j = wpr - 1; j >= 0; --j) {
+      const int s = j - wo;
+      std::uint64_t v = (s >= 0) ? (in[s] << bo) : 0;
+      if (bo && s >= 1) v |= in[s - 1] >> (64 - bo);
+      out[j] = v;
     }
   }
 }
 
-void maxCols(const std::vector<std::uint8_t>& in, std::vector<std::uint8_t>& out,
-             int w, int h, int r) {
+/// 1-D OR/AND filter along rows: out[x] = op over d in [lo,hi] of in[x+d],
+/// with pixels beyond the row reading as unset.
+void filterRows(const std::vector<std::uint64_t>& in,
+                std::vector<std::uint64_t>& out, int h, int wpr,
+                std::uint64_t tail, int lo, int hi, bool isAnd) {
+  std::vector<std::uint64_t> tmp(std::size_t(wpr), 0);
   for (int y = 0; y < h; ++y) {
-    const int lo = std::max(0, y - r);
-    const int hi = std::min(h - 1, y + r);
-    for (int x = 0; x < w; ++x) {
-      std::uint8_t m = 0;
-      for (int k = lo; k <= hi && !m; ++k) m = in[std::size_t(k) * w + x];
-      out[std::size_t(y) * w + x] = m;
+    const std::uint64_t* src = in.data() + std::size_t(y) * wpr;
+    std::uint64_t* dst = out.data() + std::size_t(y) * wpr;
+    shiftRowInto(src, dst, wpr, lo);
+    for (int d = lo + 1; d <= hi; ++d) {
+      shiftRowInto(src, tmp.data(), wpr, d);
+      if (isAnd) {
+        for (int j = 0; j < wpr; ++j) dst[j] &= tmp[j];
+      } else {
+        for (int j = 0; j < wpr; ++j) dst[j] |= tmp[j];
+      }
+    }
+    if (wpr > 0) dst[wpr - 1] &= tail;
+  }
+}
+
+/// 1-D OR/AND filter along columns, word-wise across each row.
+void filterCols(const std::vector<std::uint64_t>& in,
+                std::vector<std::uint64_t>& out, int h, int wpr, int lo,
+                int hi, bool isAnd) {
+  for (int y = 0; y < h; ++y) {
+    std::uint64_t* dst = out.data() + std::size_t(y) * wpr;
+    if (isAnd && (y + lo < 0 || y + hi >= h)) {
+      // An out-of-raster row reads as unset: the AND window is empty.
+      std::fill(dst, dst + wpr, 0);
+      continue;
+    }
+    const int k0 = std::max(0, y + lo), k1 = std::min(h - 1, y + hi);
+    if (k0 > k1) {
+      std::fill(dst, dst + wpr, 0);
+      continue;
+    }
+    std::copy(in.data() + std::size_t(k0) * wpr,
+              in.data() + std::size_t(k0) * wpr + wpr, dst);
+    for (int k = k0 + 1; k <= k1; ++k) {
+      const std::uint64_t* src = in.data() + std::size_t(k) * wpr;
+      if (isAnd) {
+        for (int j = 0; j < wpr; ++j) dst[j] &= src[j];
+      } else {
+        for (int j = 0; j < wpr; ++j) dst[j] |= src[j];
+      }
     }
   }
 }
@@ -108,20 +196,17 @@ void maxCols(const std::vector<std::uint8_t>& in, std::vector<std::uint8_t>& out
 Bitmap Bitmap::dilated(int r) const {
   assert(r >= 0);
   if (r == 0) return *this;
-  Bitmap tmp(w_, h_), out(w_, h_);
-  std::vector<std::uint8_t> mid(px_.size());
-  maxRows(px_, mid, w_, h_, r);
-  std::vector<std::uint8_t> fin(px_.size());
-  maxCols(mid, fin, w_, h_, r);
-  out.px_ = std::move(fin);
+  Bitmap mid(w_, h_), out(w_, h_);
+  filterRows(words_, mid.words_, h_, wpr_, tailMask(), -r, r, /*isAnd=*/false);
+  filterCols(mid.words_, out.words_, h_, wpr_, -r, r, /*isAnd=*/false);
   return out;
 }
 
 Bitmap Bitmap::eroded(int r) const {
   assert(r >= 0);
   if (r == 0) return *this;
-  // Erosion = complement of dilation of the complement. Border pixels are
-  // treated as unset, so eroding shrinks from the raster edge too.
+  // Erosion = complement of dilation of the complement; pixels outside the
+  // raster read as set, so a full bitmap stays full.
   Bitmap inv = *this;
   inv.invert();
   Bitmap d = inv.dilated(r);
@@ -129,73 +214,134 @@ Bitmap Bitmap::eroded(int r) const {
   return d;
 }
 
+Bitmap Bitmap::openedAnchored(int k) const {
+  assert(k >= 1);
+  if (k == 1) return *this;
+  Bitmap mid(w_, h_), ero(w_, h_), dil(w_, h_), out(w_, h_);
+  // Erosion over the anchored window [0, k), then dilation with the
+  // reflected window (-k, 0]; both separable, borders read as unset.
+  filterRows(words_, mid.words_, h_, wpr_, tailMask(), 0, k - 1, true);
+  filterCols(mid.words_, ero.words_, h_, wpr_, 0, k - 1, true);
+  filterRows(ero.words_, dil.words_, h_, wpr_, tailMask(), 1 - k, 0, false);
+  filterCols(dil.words_, out.words_, h_, wpr_, 1 - k, 0, false);
+  return out;
+}
+
 bool anyNear(const Bitmap& b, int x, int y, int r) {
-  for (int dy = -r; dy <= r; ++dy) {
-    for (int dx = -r; dx <= r; ++dx) {
-      if (b.get(x + dx, y + dy)) return true;
+  return b.anyInRect(x - r, y - r, x + r + 1, y + r + 1);
+}
+
+namespace {
+
+/// Appends the [x0,x1) runs of set bits in one packed row.
+void extractRuns(const std::uint64_t* row, int wpr, int width,
+                 std::vector<std::pair<int, int>>& runs) {
+  runs.clear();
+  bool inRun = false;
+  int start = 0;
+  for (int j = 0; j < wpr; ++j) {
+    const std::uint64_t cur = row[j];
+    if (!inRun && cur == 0) continue;
+    if (inRun && cur == ~std::uint64_t(0)) continue;
+    const int base = j << 6;
+    int bit = 0;
+    while (bit < 64) {
+      if (!inRun) {
+        const std::uint64_t rest = cur >> bit;
+        if (!rest) break;
+        bit += std::countr_zero(rest);
+        start = base + bit;
+        inRun = true;
+      } else {
+        const std::uint64_t rest = (~cur) >> bit;
+        if (!rest) break;
+        bit += std::countr_zero(rest);
+        runs.emplace_back(start, base + bit);
+        inRun = false;
+      }
     }
   }
-  return false;
+  if (inRun) runs.emplace_back(start, width);
+}
+
+/// Row-run scan with union-find shared by componentCount /
+/// componentBoxes. Runs are created in row-major order and linked to the
+/// overlapping runs of the previous row (4-connectivity); the smaller root
+/// always wins a union, so a component's root is its first run, i.e. its
+/// first row-major pixel.
+struct RunScan {
+  struct RunRec {
+    int x0, x1, y;
+  };
+  std::vector<RunRec> runs;
+  std::vector<int> parent;
+
+  int find(int i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  }
+};
+
+RunScan scanRuns(const Bitmap& b) {
+  RunScan s;
+  const int wpr = Bitmap::wordsPerRow(b.width());
+  std::vector<std::pair<int, int>> prev, cur;
+  std::vector<int> prevIds, curIds;
+  for (int y = 0; y < b.height(); ++y) {
+    extractRuns(b.words().data() + std::size_t(y) * wpr, wpr, b.width(), cur);
+    curIds.clear();
+    std::size_t p = 0;
+    for (const auto& [x0, x1] : cur) {
+      const int id = int(s.parent.size());
+      s.parent.push_back(id);
+      s.runs.push_back({x0, x1, y});
+      // Two-pointer overlap match against the previous row's sorted runs.
+      while (p < prev.size() && prev[p].second <= x0) ++p;
+      for (std::size_t q = p; q < prev.size() && prev[q].first < x1; ++q) {
+        const int ra = s.find(id), rb = s.find(prevIds[q]);
+        if (ra != rb) s.parent[std::max(ra, rb)] = std::min(ra, rb);
+      }
+      curIds.push_back(id);
+    }
+    prev = cur;
+    prevIds = curIds;
+  }
+  return s;
+}
+
+}  // namespace
+
+void rowRuns(const Bitmap& b, int y, std::vector<std::pair<int, int>>& runs) {
+  const int wpr = Bitmap::wordsPerRow(b.width());
+  extractRuns(b.words().data() + std::size_t(y) * wpr, wpr, b.width(), runs);
 }
 
 std::vector<Rect> componentBoxes(const Bitmap& b) {
-  const int w = b.width(), h = b.height();
-  std::vector<char> seen(std::size_t(w) * h, 0);
+  RunScan s = scanRuns(b);
   std::vector<Rect> boxes;
-  std::vector<std::pair<int, int>> stack;
-  for (int y0 = 0; y0 < h; ++y0) {
-    for (int x0 = 0; x0 < w; ++x0) {
-      if (!b.get(x0, y0) || seen[std::size_t(y0) * w + x0]) continue;
-      Rect box{x0, y0, x0 + 1, y0 + 1};
-      stack.push_back({x0, y0});
-      seen[std::size_t(y0) * w + x0] = 1;
-      while (!stack.empty()) {
-        auto [x, y] = stack.back();
-        stack.pop_back();
-        box = box.unionWith(Rect{x, y, x + 1, y + 1});
-        const int nx[4] = {x + 1, x - 1, x, x};
-        const int ny[4] = {y, y, y + 1, y - 1};
-        for (int i = 0; i < 4; ++i) {
-          if (nx[i] < 0 || ny[i] < 0 || nx[i] >= w || ny[i] >= h) continue;
-          auto& s = seen[std::size_t(ny[i]) * w + nx[i]];
-          if (b.get(nx[i], ny[i]) && !s) {
-            s = 1;
-            stack.push_back({nx[i], ny[i]});
-          }
-        }
-      }
-      boxes.push_back(box);
+  std::vector<int> boxOf(s.parent.size(), -1);
+  for (int i = 0; i < int(s.parent.size()); ++i) {
+    const int root = s.find(i);
+    const auto& r = s.runs[std::size_t(i)];
+    const Rect runBox{r.x0, r.y, r.x1, r.y + 1};
+    if (boxOf[root] < 0) {
+      boxOf[root] = int(boxes.size());
+      boxes.push_back(runBox);
+    } else {
+      boxes[boxOf[root]] = boxes[boxOf[root]].unionWith(runBox);
     }
   }
   return boxes;
 }
 
 int componentCount(const Bitmap& b) {
-  const int w = b.width(), h = b.height();
-  std::vector<std::int32_t> label(std::size_t(w) * h, -1);
+  RunScan s = scanRuns(b);
   int components = 0;
-  std::vector<std::pair<int, int>> stack;
-  for (int y0 = 0; y0 < h; ++y0) {
-    for (int x0 = 0; x0 < w; ++x0) {
-      if (!b.get(x0, y0) || label[std::size_t(y0) * w + x0] >= 0) continue;
-      ++components;
-      stack.push_back({x0, y0});
-      label[std::size_t(y0) * w + x0] = components;
-      while (!stack.empty()) {
-        auto [x, y] = stack.back();
-        stack.pop_back();
-        const int nx[4] = {x + 1, x - 1, x, x};
-        const int ny[4] = {y, y, y + 1, y - 1};
-        for (int i = 0; i < 4; ++i) {
-          if (nx[i] < 0 || ny[i] < 0 || nx[i] >= w || ny[i] >= h) continue;
-          auto& l = label[std::size_t(ny[i]) * w + nx[i]];
-          if (b.get(nx[i], ny[i]) && l < 0) {
-            l = components;
-            stack.push_back({nx[i], ny[i]});
-          }
-        }
-      }
-    }
+  for (int i = 0; i < int(s.parent.size()); ++i) {
+    if (s.find(i) == i) ++components;
   }
   return components;
 }

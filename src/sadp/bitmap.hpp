@@ -10,25 +10,43 @@
 
 namespace sadp {
 
-/// A W x H boolean raster. Morphological operations use square (Chebyshev)
-/// structuring elements, which coincide with Euclidean checks for every
-/// pixel offset achievable on the 20 nm layout lattice (DESIGN.md §5.6).
+/// A W x H boolean raster, bit-packed 64 pixels per word (LSB-first within
+/// a word, padded row stride). Morphological operations use square
+/// (Chebyshev) structuring elements, which coincide with Euclidean checks
+/// for every pixel offset achievable on the 20 nm layout lattice
+/// (DESIGN.md §5.6). All kernels walk whole words; the unused tail bits of
+/// each row's last word are kept zero as a class invariant, so popcounts
+/// and word-wise equality need no per-row masking.
 class Bitmap {
  public:
   Bitmap() = default;
-  Bitmap(int width, int height) : w_(width), h_(height), px_(size_t(width) * height, 0) {}
+  Bitmap(int width, int height)
+      : w_(width),
+        h_(height),
+        wpr_(wordsPerRow(width)),
+        words_(std::size_t(wpr_) * std::size_t(height), 0) {}
 
   int width() const { return w_; }
   int height() const { return h_; }
   std::size_t count() const;  ///< number of set pixels
 
   bool get(int x, int y) const {
-    if (x < 0 || y < 0 || x >= w_ || y >= h_) return false;
-    return px_[std::size_t(y) * w_ + x] != 0;
+    if (unsigned(x) >= unsigned(w_) || unsigned(y) >= unsigned(h_)) {
+      return false;
+    }
+    return (words_[std::size_t(y) * wpr_ + (unsigned(x) >> 6)] >>
+            (unsigned(x) & 63)) &
+           1u;
   }
   void set(int x, int y, bool v = true) {
-    if (x < 0 || y < 0 || x >= w_ || y >= h_) return;
-    px_[std::size_t(y) * w_ + x] = v ? 1 : 0;
+    if (unsigned(x) >= unsigned(w_) || unsigned(y) >= unsigned(h_)) return;
+    std::uint64_t& word = words_[std::size_t(y) * wpr_ + (unsigned(x) >> 6)];
+    const std::uint64_t bit = std::uint64_t(1) << (unsigned(x) & 63);
+    if (v) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
   }
 
   /// Sets every pixel in the half-open box [xlo,xhi) x [ylo,yhi), clipped.
@@ -50,28 +68,49 @@ class Bitmap {
 
   /// Chebyshev dilation by radius r (square SE of edge 2r+1).
   Bitmap dilated(int r) const;
-  /// Chebyshev erosion by radius r.
+  /// Chebyshev erosion by radius r (border pixels behave as set).
   Bitmap eroded(int r) const;
   /// Morphological closing: fills gaps of Chebyshev width <= 2r.
   Bitmap closed(int r) const { return dilated(r).eroded(r); }
   /// Morphological opening: removes features of Chebyshev width <= 2r.
   Bitmap opened(int r) const { return eroded(r).dilated(r); }
 
-  const std::vector<std::uint8_t>& raw() const { return px_; }
+  /// Opening with a k x k structuring element anchored at its top-left
+  /// corner (erosion over [x,x+k) x [y,y+k), then dilation with the
+  /// reflected element). An opening is invariant under SE translation, so
+  /// for odd k this equals opened((k-1)/2); the anchored form also handles
+  /// even k, which has no centered counterpart on the pixel lattice
+  /// (DESIGN.md §5.6). Border pixels behave as unset.
+  Bitmap openedAnchored(int k) const;
+
+  /// Packed rows, wordsPerRow(width()) words per row, LSB = lowest x.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  static int wordsPerRow(int width) { return (width + 63) >> 6; }
 
  private:
+  /// Mask of the valid bits in the last word of a row.
+  std::uint64_t tailMask() const {
+    const int rem = w_ & 63;
+    return rem ? (std::uint64_t(1) << rem) - 1 : ~std::uint64_t(0);
+  }
+
   int w_ = 0;
   int h_ = 0;
-  std::vector<std::uint8_t> px_;
+  int wpr_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 /// True if any pixel of `b` within Chebyshev distance `r` of (x, y) is set.
 bool anyNear(const Bitmap& b, int x, int y, int r);
 
+/// Replaces `runs` with the [x0,x1) spans of set pixels in row y.
+void rowRuns(const Bitmap& b, int y, std::vector<std::pair<int, int>>& runs);
+
 /// Number of 4-connected components of set pixels.
 int componentCount(const Bitmap& b);
 
-/// Bounding boxes (half-open pixel coords) of the 4-connected components.
+/// Bounding boxes (half-open pixel coords) of the 4-connected components,
+/// ordered by each component's first pixel in row-major order.
 std::vector<Rect> componentBoxes(const Bitmap& b);
 
 }  // namespace sadp

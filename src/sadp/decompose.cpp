@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 
 namespace sadp {
 
@@ -40,35 +43,6 @@ struct Raster {
   }
 };
 
-/// Erosion with a k x k structuring element anchored at the top-left.
-Bitmap erodeK(const Bitmap& in, int k) {
-  Bitmap out(in.width(), in.height());
-  for (int y = 0; y + k <= in.height(); ++y) {
-    for (int x = 0; x + k <= in.width(); ++x) {
-      bool all = true;
-      for (int dy = 0; dy < k && all; ++dy) {
-        for (int dx = 0; dx < k && all; ++dx) {
-          all = in.get(x + dx, y + dy);
-        }
-      }
-      out.set(x, y, all);
-    }
-  }
-  return out;
-}
-
-/// Dilation with the reflected k x k structuring element (opening partner).
-Bitmap dilateKReflected(const Bitmap& in, int k) {
-  Bitmap out(in.width(), in.height());
-  for (int y = 0; y < in.height(); ++y) {
-    for (int x = 0; x < in.width(); ++x) {
-      if (!in.get(x, y)) continue;
-      out.fillRect(x, y, x + k, y + k);
-    }
-  }
-  return out;
-}
-
 /// One shape destined for the core mask: real (core-colored) metal or a
 /// sacrificial assistant-core strip.
 struct CoreShape {
@@ -80,39 +54,33 @@ struct CoreShape {
 
 std::vector<Rect> rasterToNmRects(const Bitmap& b, const Rect& windowNm) {
   std::vector<Rect> pxRects;
-  // Collect row runs, then merge vertically identical stacks.
+  // Collect row runs, then merge vertically identical stacks. Open runs
+  // are keyed by their (x0,x1) span -- spans are unique within a row -- so
+  // each row matches in O(runs) instead of O(runs^2).
   struct Run {
     int x0, x1, y0, y1;
   };
+  auto spanKey = [](int x0, int x1) {
+    return (std::uint64_t(std::uint32_t(x0)) << 32) | std::uint32_t(x1);
+  };
   std::vector<Run> open;
+  std::unordered_map<std::uint64_t, std::size_t> openIdx;
+  std::vector<std::pair<int, int>> runs;
   for (int y = 0; y <= b.height(); ++y) {
-    std::vector<std::pair<int, int>> runs;
-    if (y < b.height()) {
-      int x = 0;
-      while (x < b.width()) {
-        if (!b.get(x, y)) {
-          ++x;
-          continue;
-        }
-        int x2 = x;
-        while (x2 < b.width() && b.get(x2, y)) ++x2;
-        runs.emplace_back(x, x2);
-        x = x2;
-      }
-    }
+    runs.clear();
+    if (y < b.height()) rowRuns(b, y, runs);
     std::vector<Run> next;
+    next.reserve(runs.size());
     for (auto& [x0, x1] : runs) {
-      bool extended = false;
-      for (Run& r : open) {
-        if (r.y1 == y && r.x0 == x0 && r.x1 == x1) {
-          r.y1 = y + 1;
-          next.push_back(r);
-          r.y1 = -1;  // consumed
-          extended = true;
-          break;
-        }
+      const auto it = openIdx.find(spanKey(x0, x1));
+      if (it != openIdx.end()) {
+        Run& r = open[it->second];
+        r.y1 = y + 1;
+        next.push_back(r);
+        r.y1 = -1;  // consumed
+      } else {
+        next.push_back({x0, x1, y, y + 1});
       }
-      if (!extended) next.push_back({x0, x1, y, y + 1});
     }
     for (const Run& r : open) {
       if (r.y1 >= 0) {
@@ -120,6 +88,10 @@ std::vector<Rect> rasterToNmRects(const Bitmap& b, const Rect& windowNm) {
       }
     }
     open = std::move(next);
+    openIdx.clear();
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      openIdx.emplace(spanKey(open[i].x0, open[i].x1), i);
+    }
   }
   std::vector<Rect> out;
   out.reserve(pxRects.size());
@@ -384,17 +356,14 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   // Width: cut pixels through which no w_cut x w_cut square fits, flagged
   // when they define a target edge (Chebyshev distance 1 from target).
   {
-    Bitmap opened = dilateKReflected(erodeK(cut, wCutPx), wCutPx);
+    // A pixel is narrow when no w_cut x w_cut square of cut material covers
+    // it (anchored opening); it is flagged when it defines a target edge,
+    // i.e. lies within Chebyshev distance 1 of target metal -- a word-wise
+    // AND against the dilated target.
     Bitmap narrow = cut;
-    narrow.andNot(opened);
-    Bitmap flagged(rr.w, rr.h);
-    for (int y = 0; y < rr.h; ++y) {
-      for (int x = 0; x < rr.w; ++x) {
-        if (narrow.get(x, y) && anyNear(target, x, y, 1)) {
-          flagged.set(x, y);
-        }
-      }
-    }
+    narrow.andNot(cut.openedAnchored(wCutPx));
+    Bitmap flagged = std::move(narrow);
+    flagged &= target.dilated(1);
     const auto boxes = componentBoxes(flagged);
     out.report.cutWidthConflicts = int(boxes.size());
     for (const Rect& b : boxes) {
@@ -410,34 +379,40 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   // a feature, Fig. 15(b)).
   {
     Bitmap flagged(rr.w, rr.h);
-    auto scan = [&](bool rows) {
-      const int outer = rows ? rr.h : rr.w;
-      const int inner = rows ? rr.w : rr.h;
-      for (int o = 0; o < outer; ++o) {
-        int lastCutEnd = -1;  // index just past the previous cut run
-        int i = 0;
-        while (i < inner) {
-          const int x = rows ? i : o;
-          const int y = rows ? o : i;
-          if (!cut.get(x, y)) {
-            ++i;
-            continue;
+    // Row direction: cut runs come straight from the packed words; a
+    // sub-d_cut gap between consecutive runs is flagged where it crosses
+    // target metal.
+    {
+      std::vector<std::pair<int, int>> runs;
+      for (int y = 0; y < rr.h; ++y) {
+        rowRuns(cut, y, runs);
+        for (std::size_t t = 1; t < runs.size(); ++t) {
+          const int g0 = runs[t - 1].second, g1 = runs[t].first;
+          if (g1 - g0 >= dCutPx) continue;
+          for (int g = g0; g < g1; ++g) {
+            if (target.get(g, y)) flagged.set(g, y);
           }
-          // Start of a cut run at i.
-          if (lastCutEnd >= 0 && i - lastCutEnd < dCutPx && i > lastCutEnd) {
-            for (int g = lastCutEnd; g < i; ++g) {
-              const int gx = rows ? g : o;
-              const int gy = rows ? o : g;
-              if (target.get(gx, gy)) flagged.set(gx, gy);
-            }
-          }
-          while (i < inner && cut.get(rows ? i : o, rows ? o : i)) ++i;
-          lastCutEnd = i;
         }
       }
-    };
-    scan(true);
-    scan(false);
+    }
+    // Column direction: scalar walk per column.
+    for (int x = 0; x < rr.w; ++x) {
+      int lastCutEnd = -1;  // index just past the previous cut run
+      int y = 0;
+      while (y < rr.h) {
+        if (!cut.get(x, y)) {
+          ++y;
+          continue;
+        }
+        if (lastCutEnd >= 0 && y - lastCutEnd < dCutPx && y > lastCutEnd) {
+          for (int g = lastCutEnd; g < y; ++g) {
+            if (target.get(x, g)) flagged.set(x, g);
+          }
+        }
+        while (y < rr.h && cut.get(x, y)) ++y;
+        lastCutEnd = y;
+      }
+    }
     const auto boxes = componentBoxes(flagged);
     out.report.cutSpaceConflicts = int(boxes.size());
     for (const Rect& b : boxes) {

@@ -1,0 +1,66 @@
+#include "util/parallel_for.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sadp {
+
+namespace {
+
+std::atomic<int> g_override{0};
+
+int envThreadCount() {
+  if (const char* s = std::getenv("SADP_THREADS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? int(hw) : 1;
+}
+
+}  // namespace
+
+int parallelThreadCount() {
+  const int o = g_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : envThreadCount();
+}
+
+void setParallelThreads(int n) {
+  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void parallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = std::min(parallelThreadCount(), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+  auto worker = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(workers) - 1);
+  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace sadp

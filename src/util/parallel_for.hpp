@@ -1,0 +1,29 @@
+// Minimal data-parallel loop utility for the embarrassingly-parallel
+// per-layer stages (full-chip decomposition, physical reports).
+//
+// Determinism contract: parallelFor only changes WHO computes an index,
+// never the result -- callers write iteration i's output into slot i and
+// reduce sequentially afterwards, so any thread count (including 1)
+// produces byte-identical results.
+#pragma once
+
+#include <functional>
+
+namespace sadp {
+
+/// Worker count used by parallelFor: the setParallelThreads() override if
+/// set, else the SADP_THREADS environment variable, else
+/// std::thread::hardware_concurrency().
+int parallelThreadCount();
+
+/// Programmatic override of the worker count; n <= 0 restores the
+/// environment/hardware default.
+void setParallelThreads(int n);
+
+/// Invokes fn(0) .. fn(n-1), distributing indices over up to
+/// parallelThreadCount() threads. fn must be safe to call concurrently for
+/// distinct indices. Exceptions thrown by fn are rethrown (first one wins)
+/// after all workers finish.
+void parallelFor(int n, const std::function<void(int)>& fn);
+
+}  // namespace sadp

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the kernel micro-benchmarks at default scale and refreshes
+# BENCH_kernels.json at the repo root. Compare against the committed
+# baseline before/after perf-sensitive changes:
+#
+#   ./tools/bench_smoke.sh [build-dir]
+#
+# Pass a configured build dir (default: ./build). Numbers are ns/op
+# (adjusted real time, same as the console output).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench="$build_dir/bench/bench_kernels"
+
+if [ ! -x "$bench" ]; then
+  echo "bench_smoke: $bench not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+"$bench" --json "$repo_root/BENCH_kernels.json"
+echo "bench_smoke: updated $repo_root/BENCH_kernels.json"
