@@ -7,6 +7,9 @@
 // `--json <path>` (or `--json=<path>`) additionally writes the per-kernel
 // ns/op results as machine-readable JSON (the BENCH_kernels.json schema),
 // so perf regressions are diffable across PRs; see tools/bench_smoke.sh.
+// `--trace <path>` / `--metrics <path>` enable the run-trace subsystem for
+// the benchmark process and dump its Chrome trace / metrics report — note
+// that enabling either perturbs the timed kernels themselves.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -21,6 +24,8 @@
 #include "route/astar.hpp"
 #include "route/router.hpp"
 #include "sadp/decompose.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
 
 namespace sadp {
@@ -237,8 +242,8 @@ class JsonCollector : public benchmark::ConsoleReporter {
 }  // namespace sadp
 
 int main(int argc, char** argv) {
-  // Strip --json[=| ]<path> before google-benchmark parses the flags.
-  std::string jsonPath;
+  // Strip our flags before google-benchmark parses the rest.
+  std::string jsonPath, tracePath, metricsPath;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -246,9 +251,22 @@ int main(int argc, char** argv) {
       jsonPath = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       jsonPath = a.substr(7);
+    } else if (a == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      tracePath = a.substr(8);
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metricsPath = argv[++i];
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      metricsPath = a.substr(10);
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (!tracePath.empty()) {
+    sadp::setTraceLevel(sadp::TraceLevel::Full);
+  } else if (!metricsPath.empty()) {
+    sadp::setTraceLevel(sadp::TraceLevel::Aggregate);
   }
   int filteredArgc = int(args.size());
   benchmark::Initialize(&filteredArgc, args.data());
@@ -266,6 +284,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "bench_kernels: wrote %s\n", jsonPath.c_str());
+  }
+  if (!metricsPath.empty()) {
+    std::ofstream mf(metricsPath);
+    sadp::writeMetricsJson(mf);
+    std::fprintf(stderr, "bench_kernels: wrote %s\n", metricsPath.c_str());
+  }
+  if (!tracePath.empty()) {
+    std::ofstream tf(tracePath);
+    sadp::writeChromeTrace(tf);
+    std::fprintf(stderr, "bench_kernels: wrote %s\n", tracePath.c_str());
   }
   benchmark::Shutdown();
   return 0;

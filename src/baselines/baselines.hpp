@@ -2,7 +2,7 @@
 //
 // The original binaries were never released; the paper itself re-implemented
 // [10] and [16] for its experiments, and we do the same from the published
-// algorithm descriptions (DESIGN.md §5.8 records the reconstruction):
+// algorithm descriptions (DESIGN.md §5.9 records the reconstruction):
 //
 //  [11] Gao & Pan, "Flexible self-aligned double patterning aware detailed
 //       routing with prescribed layout planning" (trim process): routing and

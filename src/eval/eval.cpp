@@ -6,9 +6,12 @@
 #include <map>
 #include <ostream>
 
+#include "trace/trace.hpp"
+
 namespace sadp {
 
 ExperimentRow runProposed(const BenchmarkSpec& spec) {
+  SADP_SPAN("eval.proposed");
   BenchmarkInstance inst = makeBenchmark(spec);
   const auto t0 = std::chrono::steady_clock::now();
   OverlayAwareRouter router(inst.grid, inst.netlist);
@@ -35,6 +38,7 @@ ExperimentRow runProposed(const BenchmarkSpec& spec) {
 
 ExperimentRow runBaselineRow(BaselineKind kind, const BenchmarkSpec& spec,
                              double timeoutSeconds) {
+  SADP_SPAN("eval.baseline");
   BenchmarkInstance inst = makeBenchmark(spec);
   const BaselineResult res =
       runBaseline(kind, inst.grid, inst.netlist, timeoutSeconds);

@@ -4,9 +4,31 @@
 #include <cmath>
 #include <queue>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace sadp {
 
 namespace {
+
+/// Batches the per-search metrics into one registry flush per route()
+/// call (on every return path), keeping atomics out of the search loop.
+struct SearchMetrics {
+  std::int64_t heapPushes = 0;
+  const std::int64_t* expansions = nullptr;
+
+  ~SearchMetrics() {
+    static Counter& routes = metricsCounter("astar.routes");
+    static Counter& exp = metricsCounter("astar.expansions");
+    static Counter& pushes = metricsCounter("astar.heap_pushes");
+    static Histogram& perRoute =
+        MetricsRegistry::instance().histogram("astar.expansions_per_route");
+    routes.add(1);
+    exp.add(*expansions);
+    pushes.add(heapPushes);
+    perRoute.add(*expansions);
+  }
+};
 
 struct OpenEntry {
   double f;
@@ -32,6 +54,7 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
                                               const PenaltyField* extra,
                                               const T2bField* t2b) {
   if (sources.empty() || targets.empty()) return std::nullopt;
+  SADP_SPAN("astar.route");
   const RoutingGrid& grid = *grid_;
   ++epoch_;
   const std::uint32_t epoch = epoch_;
@@ -90,6 +113,10 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
     return owner == kInvalidNet || owner == net;
   };
 
+  AStarResult result;
+  SearchMetrics metrics;
+  metrics.expansions = &result.expansions;
+
   std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>> open;
   for (const GridNode& s : sources) {
     if (!grid.inBounds(s) || !passable(s)) continue;
@@ -97,9 +124,10 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
     visit(idx);
     best_[idx] = 0.0f;
     open.push({heuristic(s), 0.0, idx});
+    ++metrics.heapPushes;
   }
 
-  AStarResult result;
+
   std::uint32_t goal = std::uint32_t(-1);
   while (!open.empty()) {
     const OpenEntry top = open.top();
@@ -148,6 +176,7 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
         best_[nidx] = float(g);
         parent_[nidx] = top.node;
         open.push({g + heuristic(nxt), g, nidx});
+        ++metrics.heapPushes;
       }
     }
   }

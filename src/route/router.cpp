@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
 
 namespace sadp {
@@ -107,6 +109,7 @@ void OverlayAwareRouter::tearDownNet(const Net& net) {
 }
 
 int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
+  SADP_SPAN_ARG("router.cut_check", net.id);
   const Track w = opts_.cutCheckWindowTracks;
   int bestConflicts = 0;
   for (int layer = 0; layer < grid_->layers(); ++layer) {
@@ -222,12 +225,18 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     }
 
     AddNetResult add = model_.addNet(net.id, st.path);
+    static Counter& oddCycleRejects =
+        metricsCounter("router.oddcycle_rejects");
+    static Counter& banRejects = metricsCounter("router.ban_rejects");
+    static Counter& cutRejects = metricsCounter("router.cut_rejects");
+    static Counter& ripUps = metricsCounter("router.ripups");
     bool reject = false;
     if (add.hardViolation) {
       if (opts_.acceptHardViolations) {
         ++stats_.hardViolationsAccepted;  // baseline mode: count, keep
       } else {
         reject = true;  // hard odd cycle: Algorithm 1 lines 6-9
+        oddCycleRejects.add(1);
         penalizeHardHits(add.hardHits);
       }
     }
@@ -244,6 +253,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       if (!opts_.acceptHardViolations &&
           model_.classOverlayUnitsOfNet(net.id) >= kHardCost) {
         reject = true;
+        banRejects.add(1);
         for (const GridNode& n : st.path) {
           ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
         }
@@ -251,6 +261,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     }
     if (!reject && opts_.enableCutCheck && resolveCutConflicts(net) > 0) {
       reject = true;
+      cutRejects.add(1);
       // Penalize the whole path region lightly to push the next try away.
       for (const GridNode& n : st.path) {
         ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
@@ -261,6 +272,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       releasePath(net);
       ++st.ripUps;
       ++stats_.ripUps;
+      ripUps.add(1);
       continue;
     }
 
@@ -275,9 +287,11 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
 
     if (opts_.enableColorFlip &&
         model_.overlayUnitsOfNet(net.id) > opts_.flipThreshold) {
+      SADP_SPAN_ARG("router.net_flip", net.id);
+      static Counter& flips = metricsCounter("router.flips");
       for (int layer = 0; layer < grid_->layers(); ++layer) {
         if (model_.graph(layer).findVertex(net.id) >= 0) {
-          colorFlip(model_.graph(layer));
+          flips.add(colorFlip(model_.graph(layer)).componentsImproved);
         }
       }
     }
@@ -287,6 +301,9 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
 }
 
 RoutingStats OverlayAwareRouter::run() {
+  SADP_SPAN("router.run");
+  static Counter& netsRouted = metricsCounter("router.nets_routed");
+  static Counter& netsFailed = metricsCounter("router.nets_failed");
   stats_ = RoutingStats{};
   stats_.totalNets = int(netlist_->size());
   std::vector<const Net*> order;
@@ -305,22 +322,35 @@ RoutingStats OverlayAwareRouter::run() {
   }
   for (const Net* netPtr : order) {
     const Net& net = *netPtr;
-    if (!routeNet(net)) {
+    SADP_SPAN_ARG("router.net", net.id);
+    if (routeNet(net)) {
+      netsRouted.add(1);
+    } else {
       // Leave the net unrouted; keep its pins reserved.
+      netsFailed.add(1);
       states_[net.id].routed = false;
       model_.removeNet(net.id);
       releasePath(net);
     }
   }
-  if (opts_.enableColorFlip && opts_.finalGlobalFlip) colorFlipAll(model_);
+  if (opts_.enableColorFlip && opts_.finalGlobalFlip) {
+    SADP_SPAN("router.final_flip");
+    static Counter& flips = metricsCounter("router.flips");
+    flips.add(colorFlipAll(model_).componentsImproved);
+  }
   if (opts_.enableRepair) repairViolations(opts_.repairPasses);
   return stats_;
 }
 
 int OverlayAwareRouter::repairViolations(int maxPasses) {
+  SADP_SPAN("router.repair");
+  static Counter& repairFlips = metricsCounter("repair.color_flips");
+  static Counter& repairReroutes = metricsCounter("repair.reroutes");
+  static Counter& repairSacrifices = metricsCounter("repair.sacrifices");
   const DesignRules& rules = grid_->rules();
   const Nm pitch = rules.pitch();
   for (int pass = 0; pass < maxPasses; ++pass) {
+    SADP_SPAN_ARG("router.repair_pass", pass);
     bool changed = false;
     // Pass-start snapshots: all layers decompose in parallel. A snapshot is
     // only valid while no repair action has mutated colors or routes since
@@ -330,6 +360,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
     bool dirty = false;
     std::vector<LayerDecomposition> snapshots(std::size_t(grid_->layers()));
     parallelFor(grid_->layers(), [&](int l) {
+      SADP_SPAN_ARG("repair.snapshot_layer", l);
       snapshots[std::size_t(l)] = decompose(l);
     });
     for (int layer = 0; layer < grid_->layers(); ++layer) {
@@ -384,6 +415,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             current = after;
             changed = true;
             dirty = true;
+            repairFlips.add(1);
             if (current == 0) break;
           } else {
             g.setColor(n, base);
@@ -403,6 +435,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
           if (rerouteAway(netlist_->nets[n], tightTr, layer)) {
             changed = true;
             fixed = true;
+            repairReroutes.add(1);
             break;
           }
         }
@@ -421,6 +454,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             tearDownNet(netlist_->nets[n]);
             if (localViolations() < before) {
               changed = true;
+              repairSacrifices.add(1);
               break;
             }
             restoreNet(netlist_->nets[n], oldPath);
@@ -432,6 +466,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
   }
   std::vector<int> remainingPerLayer(std::size_t(grid_->layers()), 0);
   parallelFor(grid_->layers(), [&](int layer) {
+    SADP_SPAN_ARG("repair.signoff_layer", layer);
     const LayerDecomposition d = decompose(layer);
     remainingPerLayer[std::size_t(layer)] =
         d.report.cutConflicts() + d.report.hardOverlays;
@@ -443,6 +478,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
 
 bool OverlayAwareRouter::rerouteAway(const Net& net, const Rect& avoidTr,
                                      int layer) {
+  SADP_SPAN_ARG("router.reroute_away", net.id);
   NetRouteState& st = states_[net.id];
   if (!st.routed) return false;
   const std::vector<GridNode> oldPath = st.path;
@@ -534,10 +570,12 @@ LayerDecomposition OverlayAwareRouter::decompose(
 
 OverlayReport OverlayAwareRouter::physicalReport(
     const DecomposeOptions& opts) const {
+  SADP_SPAN("router.physical_report");
   // Layers decompose independently; reduce in layer order so the report is
   // identical for any thread count.
   std::vector<OverlayReport> perLayer(std::size_t(grid_->layers()));
   parallelFor(grid_->layers(), [&](int layer) {
+    SADP_SPAN_ARG("report.layer", layer);
     perLayer[std::size_t(layer)] = decompose(layer, opts).report;
   });
   OverlayReport total;

@@ -227,6 +227,50 @@ Bitmap Bitmap::openedAnchored(int k) const {
   return out;
 }
 
+namespace {
+
+/// In-place transpose of a 64 x 64 bit block stored LSB-first (bit x of
+/// a[y] is pixel (x, y)). Recursive block swaps: at scale j the low-column
+/// half of the lower row block trades places with the high-column half of
+/// the upper one; the mask update `m ^= m << j` regenerates the low-half
+/// selector at each scale.
+void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k + j] ^= t;
+      a[k] ^= t << j;
+    }
+  }
+}
+
+}  // namespace
+
+Bitmap Bitmap::transposed() const {
+  Bitmap out(h_, w_);
+  const int outWpr = out.wpr_;
+  std::uint64_t tile[64];
+  const int rowBlocks = (h_ + 63) >> 6;
+  for (int by = 0; by < rowBlocks; ++by) {
+    const int y0 = by << 6;
+    const int rows = std::min(64, h_ - y0);
+    for (int bx = 0; bx < wpr_; ++bx) {
+      for (int i = 0; i < rows; ++i) {
+        tile[i] = words_[std::size_t(y0 + i) * wpr_ + bx];
+      }
+      std::fill(tile + rows, tile + 64, 0);  // rows past h_ read as unset
+      transpose64(tile);
+      const int x0 = bx << 6;
+      const int cols = std::min(64, w_ - x0);
+      for (int i = 0; i < cols; ++i) {
+        out.words_[std::size_t(x0 + i) * outWpr + by] = tile[i];
+      }
+    }
+  }
+  return out;
+}
+
 bool anyNear(const Bitmap& b, int x, int y, int r) {
   return b.anyInRect(x - r, y - r, x + r + 1, y + r + 1);
 }

@@ -75,6 +75,12 @@ class Bitmap {
   /// Morphological opening: removes features of Chebyshev width <= 2r.
   Bitmap opened(int r) const { return eroded(r).dilated(r); }
 
+  /// The H x W transpose: pixel (x, y) maps to (y, x). Runs 64 x 64 bit
+  /// blocks through a word-parallel in-register transpose, so column
+  /// structure becomes row structure at word speed; the zero-tail invariant
+  /// of the input doubles as the zero padding of the output.
+  Bitmap transposed() const;
+
   /// Opening with a k x k structuring element anchored at its top-left
   /// corner (erosion over [x,x+k) x [y,y+k), then dilation with the
   /// reflected element). An opening is invariant under SE translation, so

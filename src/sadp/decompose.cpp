@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace sadp {
 
 OverlayReport& OverlayReport::operator+=(const OverlayReport& o) {
@@ -128,6 +131,9 @@ Rect bridgeBox(const Rect& a, const Rect& b) {
 LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                                   const DesignRules& rules,
                                   const DecomposeOptions& opts) {
+  SADP_SPAN_ARG("decompose", std::int64_t(frags.size()));
+  static Counter& calls = metricsCounter("decompose.calls");
+  calls.add(1);
   LayerDecomposition out;
   // Window: bounding box of all metal plus margin, aligned to pixels.
   Rect bbox;
@@ -153,12 +159,15 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   // ---- Step 1: target metal and real core shapes ---------------------------
   Bitmap target(rr.w, rr.h), coreRaw(rr.w, rr.h);
   std::vector<CoreShape> shapes;
-  for (const ColoredFragment& cf : frags) {
-    const Rect m = fragmentMetalNm(cf.frag, rules);
-    rr.fill(target, m);
-    if (cf.color != Color::Second) {
-      rr.fill(coreRaw, m);
-      shapes.push_back({m, /*assist=*/false});
+  {
+    SADP_SPAN("decompose.paint");
+    for (const ColoredFragment& cf : frags) {
+      const Rect m = fragmentMetalNm(cf.frag, rules);
+      rr.fill(target, m);
+      if (cf.color != Color::Second) {
+        rr.fill(coreRaw, m);
+        shapes.push_back({m, /*assist=*/false});
+      }
     }
   }
 
@@ -168,6 +177,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   // their boundaries are spacer-defined too.
   Bitmap assists(rr.w, rr.h);
   if (opts.insertAssists) {
+    SADP_SPAN("decompose.assists");
     for (const ColoredFragment& cf : frags) {
       if (cf.color != Color::Second) continue;
       const Fragment& f = cf.frag;
@@ -209,6 +219,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   Bitmap bridges(rr.w, rr.h);
   Bitmap trims(rr.w, rr.h);
   if (opts.mergeCores) {
+    SADP_SPAN("decompose.merge");
     const std::int64_t dCoreSq = std::int64_t(rules.dCore) * rules.dCore;
     SpatialHash shapeIndex(/*pitch=*/256);
     for (std::size_t i = 0; i < shapes.size(); ++i) {
@@ -267,19 +278,22 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   Bitmap coreMask = coreRaw | assists | bridges;
 
   // ---- Step 4: spacer ring --------------------------------------------------
-  Bitmap spacerRaw = coreMask.dilated(spacerPx);
-  spacerRaw.andNot(coreMask);
-  Bitmap eaten = spacerRaw;  // spacer intruding into metal: CD damage
-  eaten &= target;
-  out.report.spacerOverTargetPx = std::int64_t(eaten.count());
-  Bitmap spacer = spacerRaw;
-  spacer.andNot(target);
+  Bitmap spacer(rr.w, rr.h), eaten(rr.w, rr.h), cut(rr.w, rr.h);
+  {
+    SADP_SPAN("decompose.spacer");
+    Bitmap spacerRaw = coreMask.dilated(spacerPx);
+    spacerRaw.andNot(coreMask);
+    eaten = spacerRaw;  // spacer intruding into metal: CD damage
+    eaten &= target;
+    out.report.spacerOverTargetPx = std::int64_t(eaten.count());
+    spacer = std::move(spacerRaw);
+    spacer.andNot(target);
 
-  // ---- Step 5: cut mask (spacer-is-dielectric complement) -------------------
-  Bitmap cut(rr.w, rr.h);
-  cut.fillRect(0, 0, rr.w, rr.h);
-  cut.andNot(spacer);
-  cut.andNot(target);
+    // ---- Step 5: cut mask (spacer-is-dielectric complement) -----------------
+    cut.fillRect(0, 0, rr.w, rr.h);
+    cut.andNot(spacer);
+    cut.andNot(target);
+  }
 
   // ---- Step 6: overlay metering ---------------------------------------------
   // A boundary pixel is unprotected when the outside pixel is cut-defined
@@ -288,71 +302,75 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
     return cut.get(ox, oy) || eaten.get(ix, iy);
   };
 
-  for (const ColoredFragment& cf : frags) {
-    const Fragment& f = cf.frag;
-    const Rect m = fragmentMetalNm(f, rules);
-    const int xlo = rr.toX(m.xlo), xhi = rr.toX(m.xhi);
-    const int ylo = rr.toY(m.ylo), yhi = rr.toY(m.yhi);
-    const bool stub = f.width() == f.height();
-    const bool horiz = f.orient() == Orient::Horizontal;
+  {
+    SADP_SPAN("decompose.meter");
+    for (const ColoredFragment& cf : frags) {
+      const Fragment& f = cf.frag;
+      const Rect m = fragmentMetalNm(f, rules);
+      const int xlo = rr.toX(m.xlo), xhi = rr.toX(m.xhi);
+      const int ylo = rr.toY(m.ylo), yhi = rr.toY(m.yhi);
+      const bool stub = f.width() == f.height();
+      const bool horiz = f.orient() == Orient::Horizontal;
 
-    // Walks one boundary line; `sidewall` = true for the two long sides.
-    auto walk = [&](bool sidewall, int outFixed, int inFixed, int lo, int hi,
-                    bool vertEdge) {
-      int run = 0;
-      int runEnd = lo;
-      bool tipHit = false;
-      auto flush = [&]() {
-        if (run == 0) return;
-        if (sidewall) {
-          ++out.report.sideOverlaySections;
-          out.report.sideOverlayNm += std::int64_t(run) * kPxNm;
-          if (run * kPxNm > rules.wLine) {
-            ++out.report.hardOverlays;
-            const int t0 = runEnd - run, t1 = runEnd;
-            const Rect boxPx = vertEdge
-                                   ? Rect{inFixed, t0, inFixed + 1, t1}
-                                   : Rect{t0, inFixed, t1, inFixed + 1};
-            out.hardOverlayBoxesNm.push_back(
-                Rect{Nm(rr.windowNm.xlo + boxPx.xlo * kPxNm),
-                     Nm(rr.windowNm.ylo + boxPx.ylo * kPxNm),
-                     Nm(rr.windowNm.xlo + boxPx.xhi * kPxNm),
-                     Nm(rr.windowNm.ylo + boxPx.yhi * kPxNm)});
+      // Walks one boundary line; `sidewall` = true for the two long sides.
+      auto walk = [&](bool sidewall, int outFixed, int inFixed, int lo, int hi,
+                      bool vertEdge) {
+        int run = 0;
+        int runEnd = lo;
+        bool tipHit = false;
+        auto flush = [&]() {
+          if (run == 0) return;
+          if (sidewall) {
+            ++out.report.sideOverlaySections;
+            out.report.sideOverlayNm += std::int64_t(run) * kPxNm;
+            if (run * kPxNm > rules.wLine) {
+              ++out.report.hardOverlays;
+              const int t0 = runEnd - run, t1 = runEnd;
+              const Rect boxPx = vertEdge
+                                     ? Rect{inFixed, t0, inFixed + 1, t1}
+                                     : Rect{t0, inFixed, t1, inFixed + 1};
+              out.hardOverlayBoxesNm.push_back(
+                  Rect{Nm(rr.windowNm.xlo + boxPx.xlo * kPxNm),
+                       Nm(rr.windowNm.ylo + boxPx.ylo * kPxNm),
+                       Nm(rr.windowNm.xlo + boxPx.xhi * kPxNm),
+                       Nm(rr.windowNm.ylo + boxPx.yhi * kPxNm)});
+            }
+          } else {
+            tipHit = true;
           }
-        } else {
-          tipHit = true;
+          run = 0;
+        };
+        for (int t = lo; t < hi; ++t) {
+          const int ox = vertEdge ? outFixed : t;
+          const int oy = vertEdge ? t : outFixed;
+          const int ix = vertEdge ? inFixed : t;
+          const int iy = vertEdge ? t : inFixed;
+          if (target.get(ox, oy)) {  // interior edge (same-net abutment)
+            flush();
+            continue;
+          }
+          if (unprotectedAt(ix, iy, ox, oy)) {
+            ++run;
+            runEnd = t + 1;
+          } else {
+            flush();
+          }
         }
-        run = 0;
+        flush();
+        if (!sidewall && tipHit) ++out.report.tipOverlays;
       };
-      for (int t = lo; t < hi; ++t) {
-        const int ox = vertEdge ? outFixed : t;
-        const int oy = vertEdge ? t : outFixed;
-        const int ix = vertEdge ? inFixed : t;
-        const int iy = vertEdge ? t : inFixed;
-        if (target.get(ox, oy)) {  // interior edge (same-net abutment)
-          flush();
-          continue;
-        }
-        if (unprotectedAt(ix, iy, ox, oy)) {
-          ++run;
-          runEnd = t + 1;
-        } else {
-          flush();
-        }
-      }
-      flush();
-      if (!sidewall && tipHit) ++out.report.tipOverlays;
-    };
 
-    const bool topBottomAreSides = horiz && !stub;
-    const bool leftRightAreSides = !horiz && !stub;
-    walk(topBottomAreSides, yhi, yhi - 1, xlo, xhi, false);   // top
-    walk(topBottomAreSides, ylo - 1, ylo, xlo, xhi, false);   // bottom
-    walk(leftRightAreSides, xhi, xhi - 1, ylo, yhi, true);    // right
-    walk(leftRightAreSides, xlo - 1, xlo, ylo, yhi, true);    // left
+      const bool topBottomAreSides = horiz && !stub;
+      const bool leftRightAreSides = !horiz && !stub;
+      walk(topBottomAreSides, yhi, yhi - 1, xlo, xhi, false);   // top
+      walk(topBottomAreSides, ylo - 1, ylo, xlo, xhi, false);   // bottom
+      walk(leftRightAreSides, xhi, xhi - 1, ylo, yhi, true);    // right
+      walk(leftRightAreSides, xlo - 1, xlo, ylo, yhi, true);    // left
+    }
   }
 
   // ---- Step 7: cut-mask MRC over target (Fig. 5 / §III-D) -------------------
+  SADP_SPAN("decompose.mrc");
   // Width: cut pixels through which no w_cut x w_cut square fits, flagged
   // when they define a target edge (Chebyshev distance 1 from target).
   {
@@ -378,41 +396,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   // gap crosses target metal (two cut patterns defining opposite sides of
   // a feature, Fig. 15(b)).
   {
-    Bitmap flagged(rr.w, rr.h);
-    // Row direction: cut runs come straight from the packed words; a
-    // sub-d_cut gap between consecutive runs is flagged where it crosses
-    // target metal.
-    {
-      std::vector<std::pair<int, int>> runs;
-      for (int y = 0; y < rr.h; ++y) {
-        rowRuns(cut, y, runs);
-        for (std::size_t t = 1; t < runs.size(); ++t) {
-          const int g0 = runs[t - 1].second, g1 = runs[t].first;
-          if (g1 - g0 >= dCutPx) continue;
-          for (int g = g0; g < g1; ++g) {
-            if (target.get(g, y)) flagged.set(g, y);
-          }
-        }
-      }
-    }
-    // Column direction: scalar walk per column.
-    for (int x = 0; x < rr.w; ++x) {
-      int lastCutEnd = -1;  // index just past the previous cut run
-      int y = 0;
-      while (y < rr.h) {
-        if (!cut.get(x, y)) {
-          ++y;
-          continue;
-        }
-        if (lastCutEnd >= 0 && y - lastCutEnd < dCutPx && y > lastCutEnd) {
-          for (int g = lastCutEnd; g < y; ++g) {
-            if (target.get(x, g)) flagged.set(x, g);
-          }
-        }
-        while (y < rr.h && cut.get(x, y)) ++y;
-        lastCutEnd = y;
-      }
-    }
+    const Bitmap flagged = narrowGapFlags(cut, target, dCutPx);
     const auto boxes = componentBoxes(flagged);
     out.report.cutSpaceConflicts = int(boxes.size());
     for (const Rect& b : boxes) {
@@ -431,6 +415,25 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   out.assists = std::move(assists);
   out.bridges = std::move(bridges);
   return out;
+}
+
+Bitmap narrowGapFlags(const Bitmap& cut, const Bitmap& target, int minGapPx) {
+  auto rowPass = [minGapPx](const Bitmap& cuts, const Bitmap& metal) {
+    Bitmap gaps(cuts.width(), cuts.height());
+    std::vector<std::pair<int, int>> runs;
+    for (int y = 0; y < cuts.height(); ++y) {
+      rowRuns(cuts, y, runs);
+      for (std::size_t t = 1; t < runs.size(); ++t) {
+        const int g0 = runs[t - 1].second, g1 = runs[t].first;
+        if (g1 - g0 < minGapPx) gaps.fillRect(g0, y, g1, y + 1);
+      }
+    }
+    gaps &= metal;
+    return gaps;
+  };
+  Bitmap flagged = rowPass(cut, target);
+  flagged |= rowPass(cut.transposed(), target.transposed()).transposed();
+  return flagged;
 }
 
 }  // namespace sadp

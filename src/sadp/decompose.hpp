@@ -97,4 +97,11 @@ Rect fragmentMetalNm(const Fragment& f, const DesignRules& rules);
 /// vertically), returned in nm using the window the raster covers.
 std::vector<Rect> rasterToNmRects(const Bitmap& b, const Rect& windowNm);
 
+/// Cut-spacing MRC kernel (Fig. 15(b)): pixels of an axis-aligned gap
+/// between two consecutive `cut` runs narrower than `minGapPx`, restricted
+/// to where the gap crosses `target` metal. Both axes run word-parallel:
+/// rows via run extraction over the packed words, columns by transposing
+/// the rasters, rerunning the row pass, and transposing back.
+Bitmap narrowGapFlags(const Bitmap& cut, const Bitmap& target, int minGapPx);
+
 }  // namespace sadp

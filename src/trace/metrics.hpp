@@ -1,0 +1,98 @@
+// Process-wide run metrics: named monotonic counters and log-bucketed
+// histograms, plus the flat run-metrics JSON report.
+//
+// Counters are relaxed atomic adds and are ALWAYS live (no enable gate):
+// an uncontended atomic increment is a few ns, far below every call site's
+// own cost, and keeping them on means a metrics report never silently
+// reads zero. Because every counted quantity is a property of the work
+// itself (an iteration, a rip-up, a node expansion) and addition is
+// order-independent, counter totals are byte-identical for every
+// SADP_THREADS value -- the determinism contract of DESIGN.md §5.6/§5.7.
+// Timings (span aggregates, exported alongside) carry no such guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sadp {
+
+/// Monotonic named counter; add() is safe from any thread.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram: bucket b >= 1 holds values v with
+/// bit_width(v) == b, i.e. v in [2^(b-1), 2^b); bucket 0 holds v <= 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::int64_t v);
+  std::int64_t count() const;
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t bucketCount(int b) const;
+  /// Inclusive lower bound of bucket b's value range (0 for bucket 0).
+  static std::int64_t bucketLo(int b);
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// One registered counter's (name, value) pair.
+using CounterSample = std::pair<std::string, std::int64_t>;
+
+/// Registry of named counters and histograms. References returned by
+/// counter()/histogram() are stable for the process lifetime, so call
+/// sites cache them in a function-local static and pay only the atomic
+/// add afterwards.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// (name, value) of every registered counter, sorted by name.
+  std::vector<CounterSample> counterSnapshot() const;
+  /// Registered histogram names, sorted.
+  std::vector<std::string> histogramNames() const;
+  /// Looks up an existing histogram (nullptr when never registered).
+  const Histogram* findHistogram(const std::string& name) const;
+
+  /// Zeroes every counter and histogram (names stay registered).
+  void resetAll();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience: the process-wide counter with this name.
+inline Counter& metricsCounter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+/// Flat run-metrics JSON report: {"schema", "counters" (sorted by name),
+/// "histograms", "phases" (span wall-time aggregates from trace.hpp; empty
+/// unless tracing was enabled), then `extra` top-level pairs verbatim.
+/// `extra` values must already be valid JSON fragments (numbers, quoted
+/// strings, ...). Only the "counters" section is thread-count
+/// deterministic; "phases" holds wall-clock measurements.
+void writeMetricsJson(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+}  // namespace sadp

@@ -1,0 +1,217 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace sadp {
+
+namespace trace_detail {
+std::atomic<int> g_level{0};
+}  // namespace trace_detail
+
+namespace {
+
+struct RawEvent {
+  std::uint32_t nameId;
+  int depth;
+  std::int64_t startNs;
+  std::int64_t durNs;
+  std::int64_t arg;
+  bool hasArg;
+};
+
+struct ThreadBuf {
+  int tid = 0;
+  int depth = 0;
+  std::vector<RawEvent> events;
+};
+
+struct NameAgg {
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> wallNs{0};
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  // deque: growth never moves existing elements, so Span::end may read
+  // aggs[id] without the lock while another thread interns a new name.
+  std::deque<NameAgg> aggs;
+  std::vector<std::shared_ptr<ThreadBuf>> buffers;
+  int nextTid = 0;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+TraceRegistry& reg() {
+  static TraceRegistry* r = new TraceRegistry();  // leaked: outlives TLS dtors
+  return *r;
+}
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - reg().origin)
+      .count();
+}
+
+ThreadBuf& tlsBuf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    TraceRegistry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.nextTid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void escapeJson(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void setTraceLevel(TraceLevel lvl) {
+  trace_detail::g_level.store(static_cast<int>(lvl),
+                              std::memory_order_relaxed);
+}
+
+TraceLevel traceLevel() {
+  return static_cast<TraceLevel>(trace_detail::levelRelaxed());
+}
+
+std::uint32_t internSpanName(const char* name) {
+  TraceRegistry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.ids.find(name);
+  if (it != r.ids.end()) return it->second;
+  const auto id = std::uint32_t(r.names.size());
+  r.names.emplace_back(name);
+  r.aggs.emplace_back();
+  r.ids.emplace(name, id);
+  return id;
+}
+
+std::vector<std::string> registeredSpanNames() {
+  TraceRegistry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.names;
+}
+
+void Span::begin(std::uint32_t nameId, std::int64_t arg, bool hasArg) {
+  nameId_ = nameId;
+  mode_ = trace_detail::levelRelaxed();
+  arg_ = arg;
+  hasArg_ = hasArg;
+  if (mode_ >= static_cast<int>(TraceLevel::Full)) {
+    depth_ = tlsBuf().depth++;
+  }
+  startNs_ = nowNs();  // last: exclude our own bookkeeping from the span
+}
+
+void Span::end() {
+  const std::int64_t endNs = nowNs();
+  NameAgg& agg = reg().aggs[nameId_];  // stable address, see deque comment
+  agg.count.fetch_add(1, std::memory_order_relaxed);
+  agg.wallNs.fetch_add(endNs - startNs_, std::memory_order_relaxed);
+  if (mode_ >= static_cast<int>(TraceLevel::Full)) {
+    ThreadBuf& buf = tlsBuf();
+    buf.depth = depth_;  // unwind even if the level changed mid-span
+    buf.events.push_back(
+        {nameId_, depth_, startNs_, endNs - startNs_, arg_, hasArg_});
+  }
+}
+
+std::vector<TraceEvent> collectTraceEvents() {
+  TraceRegistry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& buf : r.buffers) {
+    for (const RawEvent& e : buf->events) {
+      out.push_back({r.names[e.nameId], buf->tid, e.depth, e.startNs, e.durNs,
+                     e.hasArg, e.arg});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              return a.durNs > b.durNs;  // parent before child
+            });
+  return out;
+}
+
+std::vector<SpanAggregate> spanAggregates() {
+  TraceRegistry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<SpanAggregate> out;
+  for (std::size_t i = 0; i < r.names.size(); ++i) {
+    const std::int64_t n = r.aggs[i].count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.push_back(
+        {r.names[i], n, r.aggs[i].wallNs.load(std::memory_order_relaxed)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void clearTrace() {
+  TraceRegistry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& buf : r.buffers) {
+    buf->events.clear();
+    buf->depth = 0;
+  }
+  for (NameAgg& a : r.aggs) {
+    a.count.store(0, std::memory_order_relaxed);
+    a.wallNs.store(0, std::memory_order_relaxed);
+  }
+}
+
+void writeChromeTrace(std::ostream& os) {
+  const std::vector<TraceEvent> events = collectTraceEvents();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    escapeJson(os, e.name);
+    // Chrome trace timestamps are microseconds; keep ns precision in the
+    // fraction so adjacent fine-grain spans stay ordered.
+    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":"
+       << e.startNs / 1000 << "." << char('0' + (e.startNs / 100) % 10)
+       << char('0' + (e.startNs / 10) % 10) << char('0' + e.startNs % 10)
+       << ",\"dur\":" << e.durNs / 1000 << "."
+       << char('0' + (e.durNs / 100) % 10) << char('0' + (e.durNs / 10) % 10)
+       << char('0' + e.durNs % 10) << ",\"args\":{\"depth\":" << e.depth;
+    if (e.hasArg) os << ",\"v\":" << e.arg;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace sadp

@@ -1,0 +1,120 @@
+// Run-trace subsystem: RAII span scopes with thread-local event buffers
+// and a Chrome trace-event (chrome://tracing / Perfetto) JSON exporter.
+//
+// Three levels (setTraceLevel):
+//   Off       -- a Span is one relaxed atomic load and a branch; no clock
+//                is read, nothing allocates (the null-sink fast path).
+//   Aggregate -- per-name {count, total wall ns} only; feeds the "phases"
+//                section of the metrics report.
+//   Full      -- additionally appends one event per span to the owning
+//                thread's buffer for the Chrome trace export.
+//
+// Span names are interned string literals (the SADP_SPAN macro interns
+// once per call site via a function-local static), so a live span carries
+// only a 32-bit id. Buffers are owned by a process-wide registry and
+// outlive their threads, which is what makes short-lived parallelFor
+// workers traceable. Collection/clearing must happen while no traced work
+// is in flight (every caller in this repo joins its workers first).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sadp {
+
+enum class TraceLevel : int { Off = 0, Aggregate = 1, Full = 2 };
+
+void setTraceLevel(TraceLevel lvl);
+TraceLevel traceLevel();
+
+namespace trace_detail {
+extern std::atomic<int> g_level;  ///< TraceLevel as int, relaxed access
+inline int levelRelaxed() { return g_level.load(std::memory_order_relaxed); }
+}  // namespace trace_detail
+
+/// Interns a span name, returning its dense id. Idempotent per name.
+std::uint32_t internSpanName(const char* name);
+
+/// Every name ever interned (the "registered names" a trace may reference).
+std::vector<std::string> registeredSpanNames();
+
+/// RAII span scope. Construct via SADP_SPAN / SADP_SPAN_ARG.
+class Span {
+ public:
+  explicit Span(std::uint32_t nameId) {
+    if (trace_detail::levelRelaxed() != 0) begin(nameId, 0, false);
+  }
+  Span(std::uint32_t nameId, std::int64_t arg) {
+    if (trace_detail::levelRelaxed() != 0) begin(nameId, arg, true);
+  }
+  ~Span() {
+    if (mode_ != 0) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(std::uint32_t nameId, std::int64_t arg, bool hasArg);
+  void end();
+
+  std::uint32_t nameId_ = 0;
+  int mode_ = 0;  ///< TraceLevel captured at begin (0 = inactive)
+  int depth_ = 0;
+  bool hasArg_ = false;
+  std::int64_t arg_ = 0;
+  std::int64_t startNs_ = 0;
+};
+
+/// One completed span, name resolved (test/report access to the buffers).
+struct TraceEvent {
+  std::string name;
+  int tid = 0;    ///< dense thread id (0 = first traced thread)
+  int depth = 0;  ///< nesting depth within its thread at begin time
+  std::int64_t startNs = 0;
+  std::int64_t durNs = 0;
+  bool hasArg = false;
+  std::int64_t arg = 0;
+};
+
+/// All buffered events, sorted by (tid, startNs, -durNs) so a parent
+/// precedes its children.
+std::vector<TraceEvent> collectTraceEvents();
+
+/// Per-name wall-time totals accumulated at Aggregate and Full levels,
+/// sorted by name.
+struct SpanAggregate {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t wallNs = 0;
+};
+std::vector<SpanAggregate> spanAggregates();
+
+/// Drops all buffered events and aggregates (interned names survive).
+void clearTrace();
+
+/// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...},...]}, one
+/// complete event per span, timestamps in microseconds.
+void writeChromeTrace(std::ostream& os);
+
+#define SADP_TRACE_CAT2(a, b) a##b
+#define SADP_TRACE_CAT(a, b) SADP_TRACE_CAT2(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define SADP_SPAN(name)                                                 \
+  static const std::uint32_t SADP_TRACE_CAT(sadpSpanName_, __LINE__) =  \
+      ::sadp::internSpanName(name);                                     \
+  ::sadp::Span SADP_TRACE_CAT(sadpSpan_, __LINE__)(                     \
+      SADP_TRACE_CAT(sadpSpanName_, __LINE__))
+
+/// Span with one integer argument (net id, layer, worker slot, ...).
+#define SADP_SPAN_ARG(name, argValue)                                   \
+  static const std::uint32_t SADP_TRACE_CAT(sadpSpanName_, __LINE__) =  \
+      ::sadp::internSpanName(name);                                     \
+  ::sadp::Span SADP_TRACE_CAT(sadpSpan_, __LINE__)(                     \
+      SADP_TRACE_CAT(sadpSpanName_, __LINE__),                          \
+      static_cast<std::int64_t>(argValue))
+
+}  // namespace sadp

@@ -7,6 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace sadp {
 
 namespace {
@@ -35,6 +38,12 @@ void setParallelThreads(int n) {
 
 void parallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  // Counted identically on the serial and threaded paths: counter totals
+  // must not depend on the worker count (determinism contract).
+  static Counter& calls = metricsCounter("parallel.calls");
+  static Counter& jobs = metricsCounter("parallel.jobs");
+  calls.add(1);
+  jobs.add(n);
   const int workers = std::min(parallelThreadCount(), n);
   if (workers <= 1) {
     for (int i = 0; i < n; ++i) fn(i);
@@ -43,7 +52,8 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
   std::atomic<int> next{0};
   std::mutex errMutex;
   std::exception_ptr firstError;
-  auto worker = [&]() {
+  auto worker = [&](int slot) {
+    SADP_SPAN_ARG("parallel.worker", slot);
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -57,8 +67,8 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
   };
   std::vector<std::thread> threads;
   threads.reserve(std::size_t(workers) - 1);
-  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
-  worker();
+  for (int t = 1; t < workers; ++t) threads.emplace_back(worker, t);
+  worker(0);
   for (std::thread& t : threads) t.join();
   if (firstError) std::rethrow_exception(firstError);
 }

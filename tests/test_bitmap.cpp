@@ -465,6 +465,83 @@ TEST(BitmapProperty, RasterToNmRectsMatchesNaiveSweep) {
     }
 }
 
+TEST(BitmapProperty, TransposedMatchesByteReference) {
+  std::mt19937 rng(86420);
+  for (int w : kWidths)
+    for (int h : {1, 7, 63, 64, 65, 127}) {
+      const Bitmap b = randomBitmap(w, h, 0.4, rng);
+      const Bitmap t = b.transposed();
+      ASSERT_EQ(t.width(), h) << "w=" << w << " h=" << h;
+      ASSERT_EQ(t.height(), w) << "w=" << w << " h=" << h;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          ASSERT_EQ(t.get(y, x), b.get(x, y))
+              << "w=" << w << " h=" << h << " at (" << x << "," << y << ")";
+      // Word-wise equality (operator==) also checks that the transpose
+      // preserved the zero-tail invariant of the packed rows.
+      EXPECT_EQ(t.transposed(), b) << "w=" << w << " h=" << h;
+    }
+}
+
+// Pixel-walk reference of the cut-spacing kernel: for each axis, gaps
+// between consecutive runs shorter than minGap, kept where target is set
+// (the seed's scalar column walk, applied to both axes).
+ByteRaster naiveNarrowGaps(const ByteRaster& cut, const ByteRaster& target,
+                           int minGap) {
+  ByteRaster out(cut.w, cut.h);
+  for (int y = 0; y < cut.h; ++y) {
+    int lastEnd = -1;
+    int x = 0;
+    while (x < cut.w) {
+      if (!cut.get(x, y)) {
+        ++x;
+        continue;
+      }
+      if (lastEnd >= 0 && x - lastEnd < minGap) {
+        for (int g = lastEnd; g < x; ++g)
+          if (target.get(g, y)) out.px[out.idx(g, y)] = 1;
+      }
+      while (x < cut.w && cut.get(x, y)) ++x;
+      lastEnd = x;
+    }
+  }
+  for (int x = 0; x < cut.w; ++x) {
+    int lastEnd = -1;
+    int y = 0;
+    while (y < cut.h) {
+      if (!cut.get(x, y)) {
+        ++y;
+        continue;
+      }
+      if (lastEnd >= 0 && y - lastEnd < minGap) {
+        for (int g = lastEnd; g < y; ++g)
+          if (target.get(x, g)) out.px[out.idx(x, g)] = 1;
+      }
+      while (y < cut.h && cut.get(x, y)) ++y;
+      lastEnd = y;
+    }
+  }
+  return out;
+}
+
+TEST(BitmapProperty, NarrowGapFlagsMatchPixelWalk) {
+  std::mt19937 rng(5050);
+  for (int w : kWidths)
+    for (double density : {0.2, 0.5}) {
+      const int h = 48;
+      const Bitmap cut = randomBitmap(w, h, density, rng);
+      const Bitmap target = randomBitmap(w, h, 0.6, rng);
+      const ByteRaster rc(cut), rt(target);
+      for (int minGap : {1, 2, 3, 5}) {
+        expectEqual(narrowGapFlags(cut, target, minGap),
+                    naiveNarrowGaps(rc, rt, minGap),
+                    "narrowGapFlags minGap=" + std::to_string(minGap) +
+                        " w=" + std::to_string(w) +
+                        " d=" + std::to_string(density));
+      }
+    }
+}
+
 TEST(BitmapProperty, RowRunsMatchByteScan) {
   std::mt19937 rng(1618);
   for (int w : kWidths) {

@@ -15,6 +15,11 @@
 //   --no-repair         disable the post-pass violation repair
 //   --seed-demo N       ignore --nets and generate a demo instance with N
 //                       nets on the given grid instead
+//   --threads N         worker threads for parallel passes (overrides the
+//                       SADP_THREADS environment variable)
+//   --trace FILE        write a Chrome trace-event JSON (full span events)
+//   --metrics FILE      write a flat run-metrics JSON (counters, histograms,
+//                       per-phase wall times)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +29,9 @@
 #include "route/router.hpp"
 #include "sadp/mask_io.hpp"
 #include "sadp/svg.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "util/parallel_for.hpp"
 
 using namespace sadp;
 
@@ -37,7 +45,10 @@ struct CliArgs {
   std::string svgPrefix;
   std::string maskPrefix;
   std::string csvFile;
+  std::string traceFile;
+  std::string metricsFile;
   int seedDemo = 0;
+  int threads = 0;
   RouterOptions router;
 };
 
@@ -46,7 +57,8 @@ struct CliArgs {
   std::cerr << "usage: sadp_route_cli --nets FILE --width N --height N\n"
                "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
-               "       [--no-repair] [--seed-demo N]\n";
+               "       [--no-repair] [--seed-demo N] [--threads N]\n"
+               "       [--trace FILE] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -81,6 +93,13 @@ CliArgs parse(int argc, char** argv) {
       a.router.enableRepair = false;
     } else if (opt == "--seed-demo") {
       a.seedDemo = std::atoi(value(i));
+    } else if (opt == "--threads") {
+      a.threads = std::atoi(value(i));
+      if (a.threads <= 0) usage("--threads wants a positive count");
+    } else if (opt == "--trace") {
+      a.traceFile = value(i);
+    } else if (opt == "--metrics") {
+      a.metricsFile = value(i);
     } else if (opt == "--help" || opt == "-h") {
       usage();
     } else {
@@ -96,6 +115,15 @@ CliArgs parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const CliArgs args = parse(argc, argv);
+
+  if (args.threads > 0) setParallelThreads(args.threads);
+  // Full event capture only when someone will read the trace; the metrics
+  // report only needs per-name aggregates.
+  if (!args.traceFile.empty()) {
+    setTraceLevel(TraceLevel::Full);
+  } else if (!args.metricsFile.empty()) {
+    setTraceLevel(TraceLevel::Aggregate);
+  }
 
   Netlist netlist;
   if (args.seedDemo > 0) {
@@ -121,6 +149,7 @@ int main(int argc, char** argv) {
   const OverlayReport report = router.physicalReport();
 
   std::cout << "nets        " << stats.totalNets << "\n"
+            << "threads     " << parallelThreadCount() << "\n"
             << "routed      " << stats.routedNets << " ("
             << stats.routability() << "%)\n"
             << "wirelength  " << stats.wirelength << " tracks, "
@@ -149,7 +178,27 @@ int main(int argc, char** argv) {
     std::ofstream cf(args.csvFile, std::ios::app);
     cf << stats.totalNets << ',' << stats.routability() << ','
        << report.sideOverlayNm << ',' << report.cutConflicts() << ','
-       << report.hardOverlays << "\n";
+       << report.hardOverlays << ',' << parallelThreadCount() << "\n";
+  }
+  if (!args.metricsFile.empty()) {
+    std::ofstream mf(args.metricsFile);
+    writeMetricsJson(
+        mf, {{"nets", std::to_string(stats.totalNets)},
+             {"routed", std::to_string(stats.routedNets)},
+             {"routability", std::to_string(stats.routability())},
+             {"wirelength", std::to_string(stats.wirelength)},
+             {"vias", std::to_string(stats.vias)},
+             {"ripups", std::to_string(stats.ripUps)},
+             {"side_overlay_nm", std::to_string(report.sideOverlayNm)},
+             {"cut_conflicts", std::to_string(report.cutConflicts())},
+             {"hard_overlays", std::to_string(report.hardOverlays)},
+             {"threads", std::to_string(parallelThreadCount())}});
+    if (!mf) std::cerr << "cannot write " << args.metricsFile << "\n";
+  }
+  if (!args.traceFile.empty()) {
+    std::ofstream tf(args.traceFile);
+    writeChromeTrace(tf);
+    if (!tf) std::cerr << "cannot write " << args.traceFile << "\n";
   }
   return report.cutConflicts() == 0 && report.hardOverlays == 0 ? 0 : 3;
 }
