@@ -172,6 +172,35 @@ void BM_DecomposeLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_DecomposeLayer)->Arg(16)->Arg(64);
 
+/// Tiled-vs-untiled decomposition of a wide window (~17 words of raster
+/// columns), the regime the column-band tiling targets. tile_words < 0 is
+/// the whole-window reference path; threads > 1 shows the nested fan-out
+/// speedup on multicore hosts (byte-identical output either way).
+void BM_DecomposeLayerTiled(benchmark::State& state) {
+  constexpr Track kRows = 48;
+  std::vector<ColoredFragment> frags;
+  for (Track y = 0; y < kRows; ++y) {
+    frags.push_back({Fragment{0, Track(y * 2), 256, Track(y * 2 + 1),
+                              NetId(y)},
+                     (y % 2) ? Color::Second : Color::Core});
+  }
+  const DesignRules rules;
+  DecomposeOptions opts;
+  opts.tileWords = int(state.range(0));
+  setParallelThreads(int(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomposeLayer(frags, rules, opts));
+  }
+  setParallelThreads(0);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_DecomposeLayerTiled)
+    ->Args({-1, 1})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({4, 4})
+    ->ArgNames({"tile_words", "threads"});
+
 // ---- Full-chip physical report (per-layer parallel) ------------------------
 
 /// One routed multi-layer instance shared by the report benchmarks.

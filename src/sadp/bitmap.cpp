@@ -271,8 +271,63 @@ Bitmap Bitmap::transposed() const {
   return out;
 }
 
+Bitmap Bitmap::extractWordColumns(int word0, int nWords) const {
+  if (word0 < 0 || nWords <= 0 || word0 >= wpr_) {
+    throw std::out_of_range("Bitmap::extractWordColumns: bad band");
+  }
+  nWords = std::min(nWords, wpr_ - word0);
+  // The band's last word is the raster's padded tail word exactly when the
+  // band reaches it, so the band width is clipped by the raster width.
+  const int width = std::min(w_ - (word0 << 6), nWords << 6);
+  Bitmap out(width, h_);
+  for (int y = 0; y < h_; ++y) {
+    const std::uint64_t* src = words_.data() + std::size_t(y) * wpr_ + word0;
+    std::copy(src, src + nWords,
+              out.words_.data() + std::size_t(y) * out.wpr_);
+  }
+  return out;
+}
+
+void Bitmap::blitWordColumns(const Bitmap& src, int srcWord0, int dstWord0,
+                             int nWords) {
+  if (src.h_ != h_) {
+    throw std::invalid_argument("Bitmap::blitWordColumns: height mismatch");
+  }
+  if (srcWord0 < 0 || dstWord0 < 0 || nWords <= 0 ||
+      srcWord0 + nWords > src.wpr_ || dstWord0 + nWords > wpr_) {
+    throw std::out_of_range("Bitmap::blitWordColumns: bad band");
+  }
+  // Within the copied band, src's padded tail word (zero past src.width())
+  // already reads as unset; masking the write into OUR padded tail word is
+  // what preserves the destination's zero-tail invariant when the band
+  // covers it.
+  const std::uint64_t tail = tailMask();
+  for (int y = 0; y < h_; ++y) {
+    const std::uint64_t* in =
+        src.words_.data() + std::size_t(y) * src.wpr_ + srcWord0;
+    std::uint64_t* out = words_.data() + std::size_t(y) * wpr_ + dstWord0;
+    for (int j = 0; j < nWords; ++j) {
+      out[j] = (dstWord0 + j == wpr_ - 1) ? (in[j] & tail) : in[j];
+    }
+  }
+}
+
 bool anyNear(const Bitmap& b, int x, int y, int r) {
   return b.anyInRect(x - r, y - r, x + r + 1, y + r + 1);
+}
+
+std::uint64_t fingerprint(const Bitmap& b) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(std::uint64_t(std::uint32_t(b.width())) << 32 |
+      std::uint32_t(b.height()));
+  for (const std::uint64_t w : b.words()) mix(w);
+  return h;
 }
 
 namespace {

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/parallel_for.hpp"
 
 namespace sadp {
 
@@ -52,6 +54,70 @@ struct CoreShape {
   Rect nm;
   bool assist = false;
 };
+
+// ---- Tiled intra-layer morphology (DESIGN.md §5.6) --------------------------
+//
+// The morphology passes (spacer grow, cut synthesis, cut MRC) are local
+// operations with a bounded influence radius, so the raster splits into
+// word-aligned column bands that are solved independently with a halo of
+// context and stitched back by whole-word copies — byte-identical to the
+// whole-window run, which is what lets the band loop ride the nested
+// parallelFor fan-out without touching the determinism contract.
+
+/// Auto-tiling policy (opts.tileWords == 0). Both constants are fixed so
+/// the band count — and with it every tile counter and parallelFor job
+/// total — depends only on the layout, never on the thread count.
+constexpr int kAutoTileWords = 8;     ///< 512-px bands
+constexpr int kAutoTileMinWords = 16; ///< don't tile below 1024 px width
+
+/// Band width in words for this window, or 0 for the whole-window path.
+int resolveTileWords(const DecomposeOptions& opts, int windowWords) {
+  if (opts.tileWords > 0) return opts.tileWords;
+  if (opts.tileWords == 0 && windowWords >= kAutoTileMinWords) {
+    return kAutoTileWords;
+  }
+  return 0;
+}
+
+using TileStageFn =
+    std::function<void(const std::vector<Bitmap>&, std::vector<Bitmap>&)>;
+
+/// Runs one morphology stage over word-aligned column bands: every band
+/// sees each input cropped to the band plus `haloWords` of context, `fn`
+/// fills band-local outputs, and only the band's core words are stitched
+/// into the pre-sized full-window `out` planes. Bands write disjoint word
+/// columns, so they are safe as concurrent parallelFor items; with the
+/// halo at least the stage's influence radius the stitched planes are
+/// byte-identical to running `fn` on the whole window.
+void runTiledStage(std::initializer_list<const Bitmap*> in,
+                   std::initializer_list<Bitmap*> out, int tileWords,
+                   int haloWords, const TileStageFn& fn) {
+  const Bitmap& first = **in.begin();
+  const int wpr = Bitmap::wordsPerRow(first.width());
+  const int bands = (wpr + tileWords - 1) / tileWords;
+  static Counter& tiles = metricsCounter("decompose.tiles");
+  static Counter& tileWordsDone = metricsCounter("decompose.tile_words");
+  tiles.add(bands);
+  parallelFor(bands, [&](int b) {
+    SADP_SPAN_ARG("decompose.tile", b);
+    const int w0 = b * tileWords;
+    const int w1 = std::min(wpr, w0 + tileWords);
+    const int lo = std::max(0, w0 - haloWords);
+    const int hi = std::min(wpr, w1 + haloWords);
+    tileWordsDone.add(hi - lo);
+    std::vector<Bitmap> sub;
+    sub.reserve(in.size());
+    for (const Bitmap* p : in) {
+      sub.push_back(p->extractWordColumns(lo, hi - lo));
+    }
+    std::vector<Bitmap> res(out.size());
+    fn(sub, res);
+    std::size_t i = 0;
+    for (Bitmap* p : out) {
+      p->blitWordColumns(res[i++], w0 - lo, w0, w1 - w0);
+    }
+  });
+}
 
 }  // namespace
 
@@ -133,6 +199,9 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                                   const DecomposeOptions& opts) {
   SADP_SPAN_ARG("decompose", std::int64_t(frags.size()));
   static Counter& calls = metricsCounter("decompose.calls");
+  static Counter& tiledCalls = metricsCounter("decompose.tiled_calls");
+  static Histogram& windowWords =
+      MetricsRegistry::instance().histogram("decompose.window_words");
   calls.add(1);
   LayerDecomposition out;
   // Window: bounding box of all metal plus margin, aligned to pixels.
@@ -155,6 +224,19 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   const int spacerPx = rules.wSpacer / kPxNm;
   const int wCutPx = rules.wCut / kPxNm;
   const int dCutPx = rules.dCut / kPxNm;
+
+  // Tiling setup. The halo must cover the largest influence radius of any
+  // tiled pass: the spacer dilation (w_spacer), the anchored w_cut opening,
+  // and the d_cut gap scan — their sum is a safe worst case even if passes
+  // ever cascade — rounded up to whole words to keep the crop/stitch pair
+  // word-aligned. The per-layer word count (a deterministic work measure)
+  // feeds the imbalance histogram that motivated tiling in the first place.
+  const int wpr = Bitmap::wordsPerRow(rr.w);
+  const int tileWords = resolveTileWords(opts, wpr);
+  const int haloPx = (rules.wSpacer + rules.wCut + rules.dCut) / kPxNm;
+  const int haloWords = (haloPx + 63) / 64;
+  windowWords.add(std::int64_t(wpr) * rr.h);
+  if (tileWords > 0) tiledCalls.add(1);
 
   // ---- Step 1: target metal and real core shapes ---------------------------
   Bitmap target(rr.w, rr.h), coreRaw(rr.w, rr.h);
@@ -202,7 +284,18 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
     // Core material must keep >= w_spacer clearance from every metal shape
     // (its own wire sits at exactly w_spacer, so only foreign metal clips);
     // otherwise the assist's spacer would eat the neighboring pattern.
-    assists.andNot(target.dilated(spacerPx));
+    if (tileWords > 0) {
+      Bitmap dil(rr.w, rr.h);
+      runTiledStage({&target}, {&dil}, tileWords, haloWords,
+                    [&](const std::vector<Bitmap>& in,
+                        std::vector<Bitmap>& res) {
+                      res[0] = in[0].dilated(spacerPx);
+                    });
+      assert(fingerprint(dil) == fingerprint(target.dilated(spacerPx)));
+      assists.andNot(dil);
+    } else {
+      assists.andNot(target.dilated(spacerPx));
+    }
     for (const Rect& s : rasterToNmRects(assists, rr.windowNm)) {
       shapes.push_back({s, /*assist=*/true});
     }
@@ -278,21 +371,43 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   Bitmap coreMask = coreRaw | assists | bridges;
 
   // ---- Step 4: spacer ring --------------------------------------------------
+  // ---- Step 5: cut mask (spacer-is-dielectric complement) -------------------
+  // One stage for both: every op besides the dilation is word-pointwise, so
+  // the band-local run stitches byte-identically to the whole window.
+  auto spacerStage = [&](const Bitmap& core, const Bitmap& tgt, Bitmap& sp,
+                         Bitmap& eat, Bitmap& ct) {
+    Bitmap spacerRaw = core.dilated(spacerPx);
+    spacerRaw.andNot(core);
+    eat = spacerRaw;  // spacer intruding into metal: CD damage
+    eat &= tgt;
+    sp = std::move(spacerRaw);
+    sp.andNot(tgt);
+    ct = Bitmap(tgt.width(), tgt.height());
+    ct.fillRect(0, 0, tgt.width(), tgt.height());
+    ct.andNot(sp);
+    ct.andNot(tgt);
+  };
   Bitmap spacer(rr.w, rr.h), eaten(rr.w, rr.h), cut(rr.w, rr.h);
   {
     SADP_SPAN("decompose.spacer");
-    Bitmap spacerRaw = coreMask.dilated(spacerPx);
-    spacerRaw.andNot(coreMask);
-    eaten = spacerRaw;  // spacer intruding into metal: CD damage
-    eaten &= target;
+    if (tileWords > 0) {
+      runTiledStage({&coreMask, &target}, {&spacer, &eaten, &cut}, tileWords,
+                    haloWords,
+                    [&](const std::vector<Bitmap>& in,
+                        std::vector<Bitmap>& res) {
+                      spacerStage(in[0], in[1], res[0], res[1], res[2]);
+                    });
+#ifndef NDEBUG
+      Bitmap refSp(rr.w, rr.h), refEat(rr.w, rr.h), refCut(rr.w, rr.h);
+      spacerStage(coreMask, target, refSp, refEat, refCut);
+      assert(fingerprint(spacer) == fingerprint(refSp));
+      assert(fingerprint(eaten) == fingerprint(refEat));
+      assert(fingerprint(cut) == fingerprint(refCut));
+#endif
+    } else {
+      spacerStage(coreMask, target, spacer, eaten, cut);
+    }
     out.report.spacerOverTargetPx = std::int64_t(eaten.count());
-    spacer = std::move(spacerRaw);
-    spacer.andNot(target);
-
-    // ---- Step 5: cut mask (spacer-is-dielectric complement) -----------------
-    cut.fillRect(0, 0, rr.w, rr.h);
-    cut.andNot(spacer);
-    cut.andNot(target);
   }
 
   // ---- Step 6: overlay metering ---------------------------------------------
@@ -371,18 +486,41 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
 
   // ---- Step 7: cut-mask MRC over target (Fig. 5 / §III-D) -------------------
   SADP_SPAN("decompose.mrc");
-  // Width: cut pixels through which no w_cut x w_cut square fits, flagged
-  // when they define a target edge (Chebyshev distance 1 from target).
+  // Width: a pixel is narrow when no w_cut x w_cut square of cut material
+  // covers it (anchored opening); it is flagged when it defines a target
+  // edge, i.e. lies within Chebyshev distance 1 of target metal -- a
+  // word-wise AND against the dilated target.
+  // Spacing: axis-aligned cut-gap-cut patterns with gap < d_cut where the
+  // gap crosses target metal (two cut patterns defining opposite sides of
+  // a feature, Fig. 15(b)). Both scans are local (radius <= max(w_cut,
+  // d_cut) px), so they tile like the spacer stage; only the component
+  // sweep runs on the stitched whole-window flag planes.
+  auto mrcStage = [&](const Bitmap& ct, const Bitmap& tgt, Bitmap& flagW,
+                      Bitmap& flagS) {
+    flagW = ct;
+    flagW.andNot(ct.openedAnchored(wCutPx));
+    flagW &= tgt.dilated(1);
+    flagS = narrowGapFlags(ct, tgt, dCutPx);
+  };
+  Bitmap flaggedWidth(rr.w, rr.h), flaggedSpace(rr.w, rr.h);
+  if (tileWords > 0) {
+    runTiledStage({&cut, &target}, {&flaggedWidth, &flaggedSpace}, tileWords,
+                  haloWords,
+                  [&](const std::vector<Bitmap>& in,
+                      std::vector<Bitmap>& res) {
+                    mrcStage(in[0], in[1], res[0], res[1]);
+                  });
+#ifndef NDEBUG
+    Bitmap refW(rr.w, rr.h), refS(rr.w, rr.h);
+    mrcStage(cut, target, refW, refS);
+    assert(fingerprint(flaggedWidth) == fingerprint(refW));
+    assert(fingerprint(flaggedSpace) == fingerprint(refS));
+#endif
+  } else {
+    mrcStage(cut, target, flaggedWidth, flaggedSpace);
+  }
   {
-    // A pixel is narrow when no w_cut x w_cut square of cut material covers
-    // it (anchored opening); it is flagged when it defines a target edge,
-    // i.e. lies within Chebyshev distance 1 of target metal -- a word-wise
-    // AND against the dilated target.
-    Bitmap narrow = cut;
-    narrow.andNot(cut.openedAnchored(wCutPx));
-    Bitmap flagged = std::move(narrow);
-    flagged &= target.dilated(1);
-    const auto boxes = componentBoxes(flagged);
+    const auto boxes = componentBoxes(flaggedWidth);
     out.report.cutWidthConflicts = int(boxes.size());
     for (const Rect& b : boxes) {
       out.conflictBoxesNm.push_back(
@@ -392,12 +530,8 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                Nm(rr.windowNm.ylo + b.yhi * kPxNm)});
     }
   }
-  // Spacing: axis-aligned cut-gap-cut patterns with gap < d_cut where the
-  // gap crosses target metal (two cut patterns defining opposite sides of
-  // a feature, Fig. 15(b)).
   {
-    const Bitmap flagged = narrowGapFlags(cut, target, dCutPx);
-    const auto boxes = componentBoxes(flagged);
+    const auto boxes = componentBoxes(flaggedSpace);
     out.report.cutSpaceConflicts = int(boxes.size());
     for (const Rect& b : boxes) {
       out.conflictBoxesNm.push_back(

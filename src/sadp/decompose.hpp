@@ -53,6 +53,7 @@ struct OverlayReport {
   }
 
   OverlayReport& operator+=(const OverlayReport& o);
+  friend bool operator==(const OverlayReport&, const OverlayReport&) = default;
 };
 
 /// Masks plus measurement for one layer.
@@ -81,6 +82,13 @@ struct DecomposeOptions {
   /// control ([16], Fig. 22).
   bool trimAssists = true;
   Nm margin = 120;            ///< nm of empty field kept around the window
+  /// Column-band width of the tiled morphology passes, in 64-px raster
+  /// words. > 0: fixed band width; 0 (default): automatic — 8-word bands
+  /// once the window is at least 16 words wide, whole-window below that;
+  /// < 0: tiling disabled (the whole-window reference path). Every value
+  /// produces byte-identical masks and reports; the knob only changes how
+  /// the work is split into nested parallelFor items (DESIGN.md §5.6).
+  int tileWords = 0;
 };
 
 /// Synthesizes and measures one layer. Fragments are in track coordinates

@@ -25,6 +25,30 @@ int envThreadCount() {
   return hw > 0 ? int(hw) : 1;
 }
 
+/// Extra (non-caller) worker threads currently alive across every nested
+/// parallelFor. The process-wide budget is parallelThreadCount() - 1, so
+/// the total live worker count stays bounded at any nesting depth; budget
+/// freed by a finished outer worker becomes available to inner loops.
+std::atomic<int> g_extraInFlight{0};
+
+int reserveExtraWorkers(int want) {
+  if (want <= 0) return 0;
+  int cur = g_extraInFlight.load(std::memory_order_relaxed);
+  for (;;) {
+    const int avail = (parallelThreadCount() - 1) - cur;
+    if (avail <= 0) return 0;
+    const int take = std::min(want, avail);
+    if (g_extraInFlight.compare_exchange_weak(cur, cur + take,
+                                              std::memory_order_relaxed)) {
+      return take;
+    }
+  }
+}
+
+void releaseExtraWorkers(int n) {
+  if (n > 0) g_extraInFlight.fetch_sub(n, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int parallelThreadCount() {
@@ -44,8 +68,9 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
   static Counter& jobs = metricsCounter("parallel.jobs");
   calls.add(1);
   jobs.add(n);
-  const int workers = std::min(parallelThreadCount(), n);
-  if (workers <= 1) {
+  const int extra =
+      reserveExtraWorkers(std::min(parallelThreadCount(), n) - 1);
+  if (extra == 0) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -66,10 +91,11 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
     }
   };
   std::vector<std::thread> threads;
-  threads.reserve(std::size_t(workers) - 1);
-  for (int t = 1; t < workers; ++t) threads.emplace_back(worker, t);
+  threads.reserve(std::size_t(extra));
+  for (int t = 1; t <= extra; ++t) threads.emplace_back(worker, t);
   worker(0);
   for (std::thread& t : threads) t.join();
+  releaseExtraWorkers(extra);
   if (firstError) std::rethrow_exception(firstError);
 }
 

@@ -24,6 +24,15 @@ void setParallelThreads(int n);
 /// parallelThreadCount() threads. fn must be safe to call concurrently for
 /// distinct indices. Exceptions thrown by fn are rethrown (first one wins)
 /// after all workers finish.
+///
+/// Nested-work submission: parallelFor may be called from inside another
+/// parallelFor body (e.g. the per-tile fan-out nested under the per-layer
+/// decomposition). All loops draw extra workers from one process-wide
+/// budget of parallelThreadCount() - 1 threads, so total live workers stay
+/// bounded regardless of nesting depth, and an inner loop fans out exactly
+/// when outer-level imbalance leaves budget idle. A loop that gets no
+/// budget runs inline on the calling thread — the same result by the
+/// determinism contract above.
 void parallelFor(int n, const std::function<void(int)>& fn);
 
 }  // namespace sadp

@@ -1,0 +1,107 @@
+// Golden end-to-end regression: route one small fixed benchmark, then
+// compare the full eval CSV row (wall time pinned to 0) and the per-layer
+// mask-plane fingerprints against the committed fixture in tests/golden/.
+// The same document must come out at every thread count and tile width --
+// this is the whole-pipeline version of the determinism contract
+// (DESIGN.md §5.6/§5.7). Regenerate fixtures with SADP_UPDATE_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "eval/eval.hpp"
+#include "netlist/benchmark.hpp"
+#include "ocg/scenario.hpp"
+#include "route/router.hpp"
+#include "sadp/decompose.hpp"
+#include "util/parallel_for.hpp"
+
+#ifndef SADP_GOLDEN_DIR
+#error "SADP_GOLDEN_DIR must point at the tests/golden fixture directory"
+#endif
+
+namespace sadp {
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+/// Routes the fixture instance and renders its golden document: the eval
+/// CSV (cpuSeconds is the only nondeterministic column, so it is pinned to
+/// 0) followed by one fingerprint line per layer covering all six mask
+/// planes of the decomposition.
+std::string runPipeline(int threads, int tileWords) {
+  setParallelThreads(threads);
+  const BenchmarkSpec spec = paperBenchmark("Test1").scaled(0.06);
+  BenchmarkInstance inst = makeBenchmark(spec);
+  OverlayAwareRouter router(inst.grid, inst.netlist);
+  const RoutingStats stats = router.run();
+  DecomposeOptions opts;
+  opts.tileWords = tileWords;
+  const OverlayReport phys = router.physicalReport(opts);
+
+  ExperimentRow row;
+  row.circuit = spec.name;
+  row.router = "ours";
+  row.nets = int(inst.netlist.size());
+  row.routability = stats.routability();
+  row.overlayUnits = router.model().totalOverlayUnits() % kHardCost;
+  row.overlayNm = phys.sideOverlayNm;
+  row.conflicts = phys.cutConflicts();
+  row.hardOverlays = phys.hardOverlays;
+  row.cpuSeconds = 0;
+
+  std::ostringstream doc;
+  writeCsv(doc, {row});
+  for (int layer = 0; layer < inst.grid.layers(); ++layer) {
+    const LayerDecomposition d = router.decompose(layer, opts);
+    doc << "layer " << layer << " target=" << hex16(fingerprint(d.target))
+        << " core=" << hex16(fingerprint(d.coreMask))
+        << " spacer=" << hex16(fingerprint(d.spacer))
+        << " cut=" << hex16(fingerprint(d.cut))
+        << " assists=" << hex16(fingerprint(d.assists))
+        << " bridges=" << hex16(fingerprint(d.bridges)) << "\n";
+  }
+  setParallelThreads(0);
+  return doc.str();
+}
+
+TEST(GoldenE2E, MatchesCommittedFixtureAcrossThreadsAndTiling) {
+  const std::string path =
+      std::string(SADP_GOLDEN_DIR) + "/test1_s006.golden";
+  const std::string fresh = runPipeline(1, -1);
+  if (std::getenv("SADP_UPDATE_GOLDEN")) {
+    std::ofstream f(path, std::ios::binary);
+    ASSERT_TRUE(f) << "cannot write " << path;
+    f << fresh;
+    ASSERT_TRUE(bool(f)) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f) << "missing fixture " << path
+                 << " -- regenerate with SADP_UPDATE_GOLDEN=1";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string golden = buf.str();
+  EXPECT_EQ(fresh, golden)
+      << "untiled single-thread pipeline diverged from the fixture";
+  // The document must be invariant to the worker count and the band width:
+  // tiling and threading change how the work is split, never the result.
+  const struct {
+    int threads, tileWords;
+  } configs[] = {{1, 2}, {4, -1}, {4, 2}};
+  for (const auto& c : configs) {
+    EXPECT_EQ(runPipeline(c.threads, c.tileWords), golden)
+        << "threads=" << c.threads << " tileWords=" << c.tileWords;
+  }
+}
+
+}  // namespace
+}  // namespace sadp

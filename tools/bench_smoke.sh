@@ -18,5 +18,9 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
+# Golden end-to-end gate first: refuse to refresh the perf baseline from a
+# build whose pipeline output diverges from the committed fixtures.
+(cd "$build_dir" && ctest -L golden --output-on-failure)
+
 "$bench" --json "$repo_root/BENCH_kernels.json"
 echo "bench_smoke: updated $repo_root/BENCH_kernels.json"

@@ -17,6 +17,10 @@
 //                       nets on the given grid instead
 //   --threads N         worker threads for parallel passes (overrides the
 //                       SADP_THREADS environment variable)
+//   --tile-words N      column-band width (64-px words) of the tiled
+//                       decomposition morphology; 0 = automatic (default),
+//                       negative = whole-window reference path. Any value
+//                       yields byte-identical reports and masks.
 //   --trace FILE        write a Chrome trace-event JSON (full span events)
 //   --metrics FILE      write a flat run-metrics JSON (counters, histograms,
 //                       per-phase wall times)
@@ -49,6 +53,7 @@ struct CliArgs {
   std::string metricsFile;
   int seedDemo = 0;
   int threads = 0;
+  DecomposeOptions decompose;
   RouterOptions router;
 };
 
@@ -58,7 +63,7 @@ struct CliArgs {
                "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
-               "       [--trace FILE] [--metrics FILE]\n";
+               "       [--tile-words N] [--trace FILE] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -96,6 +101,8 @@ CliArgs parse(int argc, char** argv) {
     } else if (opt == "--threads") {
       a.threads = std::atoi(value(i));
       if (a.threads <= 0) usage("--threads wants a positive count");
+    } else if (opt == "--tile-words") {
+      a.decompose.tileWords = std::atoi(value(i));
     } else if (opt == "--trace") {
       a.traceFile = value(i);
     } else if (opt == "--metrics") {
@@ -146,7 +153,7 @@ int main(int argc, char** argv) {
   RoutingGrid grid(args.width, args.height, args.layers, DesignRules{});
   OverlayAwareRouter router(grid, netlist, args.router);
   const RoutingStats stats = router.run();
-  const OverlayReport report = router.physicalReport();
+  const OverlayReport report = router.physicalReport(args.decompose);
 
   std::cout << "nets        " << stats.totalNets << "\n"
             << "threads     " << parallelThreadCount() << "\n"
@@ -162,7 +169,7 @@ int main(int argc, char** argv) {
 
   for (int layer = 0; layer < grid.layers(); ++layer) {
     if (!args.svgPrefix.empty() || !args.maskPrefix.empty()) {
-      const LayerDecomposition d = router.decompose(layer);
+      const LayerDecomposition d = router.decompose(layer, args.decompose);
       if (!args.svgPrefix.empty()) {
         const auto frags = router.coloredFragments(layer);
         writeLayerSvgFile(args.svgPrefix + std::to_string(layer) + ".svg", d,
