@@ -3,6 +3,7 @@
 #include <chrono>
 #include <vector>
 
+#include "run/run_context.hpp"
 #include "sadp/trim.hpp"
 #include "util/parallel_for.hpp"
 
@@ -33,14 +34,14 @@ double elapsed(Clock::time_point t0) {
 /// cut-process synthesizer (without overlay-aware assist trimming) for
 /// [16].
 BaselineResult measure(OverlayAwareRouter& router, const RoutingStats& stats,
-                       bool trimProcess) {
+                       bool trimProcess, RunContext& ctx) {
   BaselineResult r;
   r.stats = stats;
   r.overlayUnits = router.model().totalOverlayUnits();
   if (trimProcess) {
     const int layers = router.grid().layers();
     std::vector<TrimReport> perLayer(std::size_t(layers), TrimReport{});
-    parallelFor(layers, [&](int layer) {
+    parallelFor(ctx, layers, [&](int layer) {
       perLayer[std::size_t(layer)] =
           decomposeTrimLayer(router.coloredFragments(layer),
                              router.grid().rules())
@@ -63,7 +64,7 @@ BaselineResult measure(OverlayAwareRouter& router, const RoutingStats& stats,
 }
 
 BaselineResult runGreedyColorRouter(RoutingGrid& grid, const Netlist& netlist,
-                                    bool trimProcess) {
+                                    bool trimProcess, RunContext& ctx) {
   // Shared reconstruction core for [11] and [16]: colors are fixed when a
   // net is routed (pseudo-coloring only, no flipping), no type 2-b
   // avoidance, no cut-conflict rip-up, no repair; nets whose hard
@@ -89,9 +90,9 @@ BaselineResult runGreedyColorRouter(RoutingGrid& grid, const Netlist& netlist,
     o.enableMergeOddCycles = false;
   }
   const auto t0 = Clock::now();
-  OverlayAwareRouter router(grid, netlist, o);
+  OverlayAwareRouter router(grid, netlist, o, &ctx);
   const RoutingStats stats = router.run();
-  BaselineResult r = measure(router, stats, trimProcess);
+  BaselineResult r = measure(router, stats, trimProcess, ctx);
   r.seconds = elapsed(t0);
   return r;
 }
@@ -103,11 +104,11 @@ BaselineResult runGreedyColorRouter(RoutingGrid& grid, const Netlist& netlist,
 /// rebuilt per net). The re-validation is intentionally quadratic -- that
 /// is what makes the published router orders of magnitude slower.
 BaselineResult runDuGraphModel(RoutingGrid& grid, const Netlist& netlist,
-                               double timeoutSeconds) {
+                               double timeoutSeconds, RunContext& ctx) {
   const auto t0 = Clock::now();
   BaselineResult result;
   OverlayModel model(grid.layers(), grid.width(), grid.height());
-  AStarEngine engine(grid);
+  AStarEngine engine(grid, &ctx);
   AStarParams params;  // alpha = beta = 1, no overlay guidance
 
   // Reserve pins.
@@ -197,7 +198,7 @@ BaselineResult runDuGraphModel(RoutingGrid& grid, const Netlist& netlist,
   // Trim-process sign-off (Du et al. target SID/trim without assists).
   const DesignRules& rules = grid.rules();
   std::vector<TrimReport> perLayer(std::size_t(grid.layers()));
-  parallelFor(grid.layers(), [&](int layer) {
+  parallelFor(ctx, grid.layers(), [&](int layer) {
     std::vector<ColoredFragment> cfs;
     for (const Fragment& f : model.fragmentsInWindow(
              layer, Rect{0, 0, grid.width(), grid.height()})) {
@@ -223,14 +224,17 @@ BaselineResult runDuGraphModel(RoutingGrid& grid, const Netlist& netlist,
 }  // namespace
 
 BaselineResult runBaseline(BaselineKind kind, RoutingGrid& grid,
-                           const Netlist& netlist, double timeoutSeconds) {
+                           const Netlist& netlist, double timeoutSeconds,
+                           RunContext* ctx) {
+  RunContext& c = ctx ? *ctx : RunContext::current();
+  RunContext::Scope bind(c);
   switch (kind) {
     case BaselineKind::GaoPanTrim11:
-      return runGreedyColorRouter(grid, netlist, /*trimProcess=*/true);
+      return runGreedyColorRouter(grid, netlist, /*trimProcess=*/true, c);
     case BaselineKind::KodamaCut16:
-      return runGreedyColorRouter(grid, netlist, /*trimProcess=*/false);
+      return runGreedyColorRouter(grid, netlist, /*trimProcess=*/false, c);
     case BaselineKind::DuGraphModel10:
-      return runDuGraphModel(grid, netlist, timeoutSeconds);
+      return runDuGraphModel(grid, netlist, timeoutSeconds, c);
   }
   return {};
 }

@@ -2,7 +2,7 @@
 //
 // The original binaries were never released; the paper itself re-implemented
 // [10] and [16] for its experiments, and we do the same from the published
-// algorithm descriptions (DESIGN.md §5.9 records the reconstruction):
+// algorithm descriptions (DESIGN.md §5.10 records the reconstruction):
 //
 //  [11] Gao & Pan, "Flexible self-aligned double patterning aware detailed
 //       routing with prescribed layout planning" (trim process): routing and
@@ -50,9 +50,12 @@ struct BaselineResult {
 };
 
 /// Runs a baseline on the given problem. `timeoutSeconds` bounds the run
-/// (chiefly for [10], whose runtime grows quadratically).
+/// (chiefly for [10], whose runtime grows quadratically). Metrics, spans
+/// and parallel fan-out go through `ctx` (the calling thread's bound
+/// context when null).
 BaselineResult runBaseline(BaselineKind kind, RoutingGrid& grid,
                            const Netlist& netlist,
-                           double timeoutSeconds = 1e18);
+                           double timeoutSeconds = 1e18,
+                           RunContext* ctx = nullptr);
 
 }  // namespace sadp

@@ -6,15 +6,18 @@
 #include <map>
 #include <ostream>
 
+#include "run/run_context.hpp"
 #include "trace/trace.hpp"
 
 namespace sadp {
 
-ExperimentRow runProposed(const BenchmarkSpec& spec) {
+ExperimentRow runProposed(const BenchmarkSpec& spec, RunContext* ctx) {
+  RunContext& c = ctx ? *ctx : RunContext::current();
+  RunContext::Scope bind(c);
   SADP_SPAN("eval.proposed");
   BenchmarkInstance inst = makeBenchmark(spec);
   const auto t0 = std::chrono::steady_clock::now();
-  OverlayAwareRouter router(inst.grid, inst.netlist);
+  OverlayAwareRouter router(inst.grid, inst.netlist, {}, &c);
   const RoutingStats stats = router.run();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -37,11 +40,13 @@ ExperimentRow runProposed(const BenchmarkSpec& spec) {
 }
 
 ExperimentRow runBaselineRow(BaselineKind kind, const BenchmarkSpec& spec,
-                             double timeoutSeconds) {
+                             double timeoutSeconds, RunContext* ctx) {
+  RunContext& c = ctx ? *ctx : RunContext::current();
+  RunContext::Scope bind(c);
   SADP_SPAN("eval.baseline");
   BenchmarkInstance inst = makeBenchmark(spec);
   const BaselineResult res =
-      runBaseline(kind, inst.grid, inst.netlist, timeoutSeconds);
+      runBaseline(kind, inst.grid, inst.netlist, timeoutSeconds, &c);
 
   ExperimentRow row;
   row.circuit = spec.name;

@@ -12,6 +12,8 @@
 
 namespace sadp {
 
+class RunContext;
+
 /// One row of Table III / Table IV: a benchmark measured under one router.
 struct ExperimentRow {
   std::string circuit;
@@ -26,12 +28,17 @@ struct ExperimentRow {
   bool na = false;  ///< timed out (reported as NA, like the paper)
 };
 
-/// Runs the proposed overlay-aware router on an instance.
-ExperimentRow runProposed(const BenchmarkSpec& spec);
+/// Runs the proposed overlay-aware router on an instance. Metrics, spans
+/// and parallel fan-out go through `ctx` (the calling thread's bound
+/// context when null). Every row field except cpuSeconds is deterministic
+/// for a given spec, independent of thread count or concurrent runs.
+ExperimentRow runProposed(const BenchmarkSpec& spec,
+                          RunContext* ctx = nullptr);
 
-/// Runs one baseline on an instance.
+/// Runs one baseline on an instance (same context contract as above).
 ExperimentRow runBaselineRow(BaselineKind kind, const BenchmarkSpec& spec,
-                             double timeoutSeconds = 1e18);
+                             double timeoutSeconds = 1e18,
+                             RunContext* ctx = nullptr);
 
 /// Renders rows as an aligned text table, grouped by circuit. A final
 /// normalized-comparison line (geometric means relative to `reference`)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "run/run_context.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -13,20 +14,20 @@ namespace {
 
 /// Batches the per-search metrics into one registry flush per route()
 /// call (on every return path), keeping atomics out of the search loop.
+/// Writes through the owning engine's per-run handles.
 struct SearchMetrics {
   std::int64_t heapPushes = 0;
   const std::int64_t* expansions = nullptr;
+  Counter* routes = nullptr;
+  Counter* exp = nullptr;
+  Counter* pushes = nullptr;
+  Histogram* perRoute = nullptr;
 
   ~SearchMetrics() {
-    static Counter& routes = metricsCounter("astar.routes");
-    static Counter& exp = metricsCounter("astar.expansions");
-    static Counter& pushes = metricsCounter("astar.heap_pushes");
-    static Histogram& perRoute =
-        MetricsRegistry::instance().histogram("astar.expansions_per_route");
-    routes.add(1);
-    exp.add(*expansions);
-    pushes.add(heapPushes);
-    perRoute.add(*expansions);
+    routes->add(1);
+    exp->add(*expansions);
+    pushes->add(heapPushes);
+    perRoute->add(*expansions);
   }
 };
 
@@ -40,12 +41,19 @@ struct OpenEntry {
 
 }  // namespace
 
-AStarEngine::AStarEngine(const RoutingGrid& grid)
+AStarEngine::AStarEngine(const RoutingGrid& grid, RunContext* ctx)
     : grid_(&grid),
       best_(grid.nodeCount(), 0.0f),
       parent_(grid.nodeCount(), 0),
       stamp_(grid.nodeCount(), 0),
-      targetStamp_(grid.nodeCount(), 0) {}
+      targetStamp_(grid.nodeCount(), 0) {
+  MetricsRegistry& m =
+      ctx ? ctx->metrics() : RunContext::current().metrics();
+  routesCounter_ = &m.counter("astar.routes");
+  expansionsCounter_ = &m.counter("astar.expansions");
+  heapPushesCounter_ = &m.counter("astar.heap_pushes");
+  expansionsPerRoute_ = &m.histogram("astar.expansions_per_route");
+}
 
 std::optional<AStarResult> AStarEngine::route(NetId net,
                                               std::span<const GridNode> sources,
@@ -116,6 +124,10 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
   AStarResult result;
   SearchMetrics metrics;
   metrics.expansions = &result.expansions;
+  metrics.routes = routesCounter_;
+  metrics.exp = expansionsCounter_;
+  metrics.pushes = heapPushesCounter_;
+  metrics.perRoute = expansionsPerRoute_;
 
   std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>> open;
   for (const GridNode& s : sources) {

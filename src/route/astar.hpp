@@ -18,6 +18,10 @@
 
 namespace sadp {
 
+class Counter;
+class Histogram;
+class RunContext;
+
 struct AStarParams {
   double alpha = 1.0;        ///< wirelength weight
   double beta = 1.0;         ///< via weight
@@ -69,7 +73,11 @@ struct AStarResult {
 /// through other nets or blockages.
 class AStarEngine {
  public:
-  explicit AStarEngine(const RoutingGrid& grid);
+  /// Metrics report into ctx (the calling thread's bound context when
+  /// null). Counter handles are resolved once here and cached as members,
+  /// scoping them to one run -- never function-local statics, which would
+  /// pin the first run's registry across contexts.
+  explicit AStarEngine(const RoutingGrid& grid, RunContext* ctx = nullptr);
 
   std::optional<AStarResult> route(NetId net,
                                    std::span<const GridNode> sources,
@@ -85,6 +93,11 @@ class AStarEngine {
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint32_t> targetStamp_;
   std::uint32_t epoch_ = 0;
+  // Per-engine (hence per-run) metric handles; see ctor comment.
+  Counter* routesCounter_;
+  Counter* expansionsCounter_;
+  Counter* heapPushesCounter_;
+  Histogram* expansionsPerRoute_;
 };
 
 /// One-shot convenience wrapper around AStarEngine (tests, examples).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "run/run_context.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
@@ -21,16 +22,29 @@ std::vector<const Pin*> netPins(const Net& n) {
 
 OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
                                        const Netlist& netlist,
-                                       RouterOptions options)
+                                       RouterOptions options,
+                                       RunContext* ctx)
     : grid_(&grid),
       netlist_(&netlist),
       opts_(options),
+      ctx_(ctx ? ctx : &RunContext::current()),
       model_(grid.layers(), grid.width(), grid.height(),
              options.enableMergeOddCycles),
-      engine_(grid),
+      engine_(grid, ctx_),
       ripUpField_(grid),
       t2bField_(grid),
       states_(netlist.size()) {
+  MetricsRegistry& m = ctx_->metrics();
+  counters_.oddCycleRejects = &m.counter("router.oddcycle_rejects");
+  counters_.banRejects = &m.counter("router.ban_rejects");
+  counters_.cutRejects = &m.counter("router.cut_rejects");
+  counters_.ripUps = &m.counter("router.ripups");
+  counters_.flips = &m.counter("router.flips");
+  counters_.netsRouted = &m.counter("router.nets_routed");
+  counters_.netsFailed = &m.counter("router.nets_failed");
+  counters_.repairFlips = &m.counter("repair.color_flips");
+  counters_.repairReroutes = &m.counter("repair.reroutes");
+  counters_.repairSacrifices = &m.counter("repair.sacrifices");
   // Reserve every pin candidate so later nets cannot run over them.
   for (const Net& n : netlist.nets) {
     for (const Pin* pin : netPins(n)) {
@@ -225,18 +239,13 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     }
 
     AddNetResult add = model_.addNet(net.id, st.path);
-    static Counter& oddCycleRejects =
-        metricsCounter("router.oddcycle_rejects");
-    static Counter& banRejects = metricsCounter("router.ban_rejects");
-    static Counter& cutRejects = metricsCounter("router.cut_rejects");
-    static Counter& ripUps = metricsCounter("router.ripups");
     bool reject = false;
     if (add.hardViolation) {
       if (opts_.acceptHardViolations) {
         ++stats_.hardViolationsAccepted;  // baseline mode: count, keep
       } else {
         reject = true;  // hard odd cycle: Algorithm 1 lines 6-9
-        oddCycleRejects.add(1);
+        counters_.oddCycleRejects->add(1);
         penalizeHardHits(add.hardHits);
       }
     }
@@ -253,7 +262,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       if (!opts_.acceptHardViolations &&
           model_.classOverlayUnitsOfNet(net.id) >= kHardCost) {
         reject = true;
-        banRejects.add(1);
+        counters_.banRejects->add(1);
         for (const GridNode& n : st.path) {
           ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
         }
@@ -261,7 +270,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     }
     if (!reject && opts_.enableCutCheck && resolveCutConflicts(net) > 0) {
       reject = true;
-      cutRejects.add(1);
+      counters_.cutRejects->add(1);
       // Penalize the whole path region lightly to push the next try away.
       for (const GridNode& n : st.path) {
         ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
@@ -272,7 +281,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       releasePath(net);
       ++st.ripUps;
       ++stats_.ripUps;
-      ripUps.add(1);
+      counters_.ripUps->add(1);
       continue;
     }
 
@@ -288,10 +297,10 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     if (opts_.enableColorFlip &&
         model_.overlayUnitsOfNet(net.id) > opts_.flipThreshold) {
       SADP_SPAN_ARG("router.net_flip", net.id);
-      static Counter& flips = metricsCounter("router.flips");
       for (int layer = 0; layer < grid_->layers(); ++layer) {
         if (model_.graph(layer).findVertex(net.id) >= 0) {
-          flips.add(colorFlip(model_.graph(layer)).componentsImproved);
+          counters_.flips->add(
+              colorFlip(model_.graph(layer)).componentsImproved);
         }
       }
     }
@@ -301,9 +310,8 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
 }
 
 RoutingStats OverlayAwareRouter::run() {
+  RunContext::Scope bind(*ctx_);
   SADP_SPAN("router.run");
-  static Counter& netsRouted = metricsCounter("router.nets_routed");
-  static Counter& netsFailed = metricsCounter("router.nets_failed");
   stats_ = RoutingStats{};
   stats_.totalNets = int(netlist_->size());
   std::vector<const Net*> order;
@@ -324,10 +332,10 @@ RoutingStats OverlayAwareRouter::run() {
     const Net& net = *netPtr;
     SADP_SPAN_ARG("router.net", net.id);
     if (routeNet(net)) {
-      netsRouted.add(1);
+      counters_.netsRouted->add(1);
     } else {
       // Leave the net unrouted; keep its pins reserved.
-      netsFailed.add(1);
+      counters_.netsFailed->add(1);
       states_[net.id].routed = false;
       model_.removeNet(net.id);
       releasePath(net);
@@ -335,18 +343,15 @@ RoutingStats OverlayAwareRouter::run() {
   }
   if (opts_.enableColorFlip && opts_.finalGlobalFlip) {
     SADP_SPAN("router.final_flip");
-    static Counter& flips = metricsCounter("router.flips");
-    flips.add(colorFlipAll(model_).componentsImproved);
+    counters_.flips->add(colorFlipAll(model_).componentsImproved);
   }
   if (opts_.enableRepair) repairViolations(opts_.repairPasses);
   return stats_;
 }
 
 int OverlayAwareRouter::repairViolations(int maxPasses) {
+  RunContext::Scope bind(*ctx_);
   SADP_SPAN("router.repair");
-  static Counter& repairFlips = metricsCounter("repair.color_flips");
-  static Counter& repairReroutes = metricsCounter("repair.reroutes");
-  static Counter& repairSacrifices = metricsCounter("repair.sacrifices");
   const DesignRules& rules = grid_->rules();
   const Nm pitch = rules.pitch();
   for (int pass = 0; pass < maxPasses; ++pass) {
@@ -359,7 +364,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
     // reroute still re-colors the restored net).
     bool dirty = false;
     std::vector<LayerDecomposition> snapshots(std::size_t(grid_->layers()));
-    parallelFor(grid_->layers(), [&](int l) {
+    parallelFor(*ctx_, grid_->layers(), [&](int l) {
       SADP_SPAN_ARG("repair.snapshot_layer", l);
       snapshots[std::size_t(l)] = decompose(l);
     });
@@ -415,7 +420,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             current = after;
             changed = true;
             dirty = true;
-            repairFlips.add(1);
+            counters_.repairFlips->add(1);
             if (current == 0) break;
           } else {
             g.setColor(n, base);
@@ -435,7 +440,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
           if (rerouteAway(netlist_->nets[n], tightTr, layer)) {
             changed = true;
             fixed = true;
-            repairReroutes.add(1);
+            counters_.repairReroutes->add(1);
             break;
           }
         }
@@ -454,7 +459,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             tearDownNet(netlist_->nets[n]);
             if (localViolations() < before) {
               changed = true;
-              repairSacrifices.add(1);
+              counters_.repairSacrifices->add(1);
               break;
             }
             restoreNet(netlist_->nets[n], oldPath);
@@ -465,7 +470,7 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
     if (!changed) break;
   }
   std::vector<int> remainingPerLayer(std::size_t(grid_->layers()), 0);
-  parallelFor(grid_->layers(), [&](int layer) {
+  parallelFor(*ctx_, grid_->layers(), [&](int layer) {
     SADP_SPAN_ARG("repair.signoff_layer", layer);
     const LayerDecomposition d = decompose(layer);
     remainingPerLayer[std::size_t(layer)] =
@@ -565,16 +570,19 @@ std::vector<ColoredFragment> OverlayAwareRouter::coloredFragments(
 
 LayerDecomposition OverlayAwareRouter::decompose(
     int layer, const DecomposeOptions& opts) const {
-  return decomposeLayer(coloredFragments(layer), grid_->rules(), opts);
+  DecomposeOptions o = opts;
+  if (o.ctx == nullptr) o.ctx = ctx_;
+  return decomposeLayer(coloredFragments(layer), grid_->rules(), o);
 }
 
 OverlayReport OverlayAwareRouter::physicalReport(
     const DecomposeOptions& opts) const {
+  RunContext::Scope bind(*ctx_);
   SADP_SPAN("router.physical_report");
   // Layers decompose independently; reduce in layer order so the report is
   // identical for any thread count.
   std::vector<OverlayReport> perLayer(std::size_t(grid_->layers()));
-  parallelFor(grid_->layers(), [&](int layer) {
+  parallelFor(*ctx_, grid_->layers(), [&](int layer) {
     SADP_SPAN_ARG("report.layer", layer);
     perLayer[std::size_t(layer)] = decompose(layer, opts).report;
   });

@@ -26,6 +26,8 @@
 
 namespace sadp {
 
+class RunContext;
+
 struct RouterOptions {
   AStarParams astar;
   int maxRipUp = 3;            ///< max rip-up & re-route iterations per net
@@ -78,8 +80,11 @@ struct RoutingStats {
 
 class OverlayAwareRouter {
  public:
+  /// All metrics, spans and parallel fan-out of this router report into /
+  /// draw from `ctx` (the calling thread's bound context when null), so
+  /// concurrent routers with distinct contexts are fully isolated.
   OverlayAwareRouter(RoutingGrid& grid, const Netlist& netlist,
-                     RouterOptions options = {});
+                     RouterOptions options = {}, RunContext* ctx = nullptr);
 
   /// Routes every net; returns aggregate statistics.
   RoutingStats run();
@@ -122,9 +127,27 @@ class OverlayAwareRouter {
   /// Re-installs a previously torn-down route verbatim.
   void restoreNet(const Net& net, const std::vector<GridNode>& oldPath);
 
+  /// Per-router (hence per-run) counter handles, resolved once from the
+  /// context's registry at construction. Never function-local statics:
+  /// those would pin the first run's registry across contexts.
+  struct RouterCounters {
+    Counter* oddCycleRejects;
+    Counter* banRejects;
+    Counter* cutRejects;
+    Counter* ripUps;
+    Counter* flips;
+    Counter* netsRouted;
+    Counter* netsFailed;
+    Counter* repairFlips;
+    Counter* repairReroutes;
+    Counter* repairSacrifices;
+  };
+
   RoutingGrid* grid_;
   const Netlist* netlist_;
   RouterOptions opts_;
+  RunContext* ctx_;  ///< never null; declared before engine_ (init order)
+  RouterCounters counters_;
   OverlayModel model_;
   AStarEngine engine_;
   PenaltyField ripUpField_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "run/run_context.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
@@ -89,16 +90,18 @@ using TileStageFn =
 /// columns, so they are safe as concurrent parallelFor items; with the
 /// halo at least the stage's influence radius the stitched planes are
 /// byte-identical to running `fn` on the whole window.
-void runTiledStage(std::initializer_list<const Bitmap*> in,
+void runTiledStage(RunContext& ctx, std::initializer_list<const Bitmap*> in,
                    std::initializer_list<Bitmap*> out, int tileWords,
                    int haloWords, const TileStageFn& fn) {
   const Bitmap& first = **in.begin();
   const int wpr = Bitmap::wordsPerRow(first.width());
   const int bands = (wpr + tileWords - 1) / tileWords;
-  static Counter& tiles = metricsCounter("decompose.tiles");
-  static Counter& tileWordsDone = metricsCounter("decompose.tile_words");
-  tiles.add(bands);
-  parallelFor(bands, [&](int b) {
+  // Looked up per stage, never cached in a static: the registry is
+  // per-context.
+  MetricsRegistry& m = ctx.metrics();
+  m.counter("decompose.tiles").add(bands);
+  Counter& tileWordsDone = m.counter("decompose.tile_words");
+  parallelFor(ctx, bands, [&](int b) {
     SADP_SPAN_ARG("decompose.tile", b);
     const int w0 = b * tileWords;
     const int w1 = std::min(wpr, w0 + tileWords);
@@ -197,12 +200,13 @@ Rect bridgeBox(const Rect& a, const Rect& b) {
 LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                                   const DesignRules& rules,
                                   const DecomposeOptions& opts) {
+  RunContext& ctx = opts.ctx ? *opts.ctx : RunContext::current();
+  RunContext::Scope bindCtx(ctx);
   SADP_SPAN_ARG("decompose", std::int64_t(frags.size()));
-  static Counter& calls = metricsCounter("decompose.calls");
-  static Counter& tiledCalls = metricsCounter("decompose.tiled_calls");
-  static Histogram& windowWords =
-      MetricsRegistry::instance().histogram("decompose.window_words");
-  calls.add(1);
+  MetricsRegistry& m = ctx.metrics();
+  m.counter("decompose.calls").add(1);
+  Counter& tiledCalls = m.counter("decompose.tiled_calls");
+  Histogram& windowWords = m.histogram("decompose.window_words");
   LayerDecomposition out;
   // Window: bounding box of all metal plus margin, aligned to pixels.
   Rect bbox;
@@ -286,7 +290,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
     // otherwise the assist's spacer would eat the neighboring pattern.
     if (tileWords > 0) {
       Bitmap dil(rr.w, rr.h);
-      runTiledStage({&target}, {&dil}, tileWords, haloWords,
+      runTiledStage(ctx, {&target}, {&dil}, tileWords, haloWords,
                     [&](const std::vector<Bitmap>& in,
                         std::vector<Bitmap>& res) {
                       res[0] = in[0].dilated(spacerPx);
@@ -391,7 +395,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   {
     SADP_SPAN("decompose.spacer");
     if (tileWords > 0) {
-      runTiledStage({&coreMask, &target}, {&spacer, &eaten, &cut}, tileWords,
+      runTiledStage(ctx, {&coreMask, &target}, {&spacer, &eaten, &cut}, tileWords,
                     haloWords,
                     [&](const std::vector<Bitmap>& in,
                         std::vector<Bitmap>& res) {
@@ -504,7 +508,7 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   };
   Bitmap flaggedWidth(rr.w, rr.h), flaggedSpace(rr.w, rr.h);
   if (tileWords > 0) {
-    runTiledStage({&cut, &target}, {&flaggedWidth, &flaggedSpace}, tileWords,
+    runTiledStage(ctx, {&cut, &target}, {&flaggedWidth, &flaggedSpace}, tileWords,
                   haloWords,
                   [&](const std::vector<Bitmap>& in,
                       std::vector<Bitmap>& res) {

@@ -30,6 +30,8 @@
 
 namespace sadp {
 
+class RunContext;
+
 /// One colored wire fragment to decompose.
 struct ColoredFragment {
   Fragment frag;
@@ -89,6 +91,9 @@ struct DecomposeOptions {
   /// produces byte-identical masks and reports; the knob only changes how
   /// the work is split into nested parallelFor items (DESIGN.md §5.6).
   int tileWords = 0;
+  /// Run context the decomposition reports metrics/spans into and draws
+  /// parallel workers from; null = the calling thread's bound context.
+  RunContext* ctx = nullptr;
 };
 
 /// Synthesizes and measures one layer. Fragments are in track coordinates

@@ -11,6 +11,10 @@
 
 namespace sadp {
 
+namespace metrics_detail {
+thread_local MetricsRegistry* t_registry = nullptr;
+}  // namespace metrics_detail
+
 void Histogram::add(std::int64_t v) {
   const int b =
       v <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(v));
@@ -39,26 +43,31 @@ void Histogram::reset() {
 
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
-  // deques: growth never moves existing elements, so cached references
-  // stay valid while new names register.
+  // deques: growth never moves existing elements, so references handed to
+  // call sites stay valid while new names register.
   std::deque<std::pair<std::string, Counter>> counters;
   std::deque<std::pair<std::string, Histogram>> histograms;
   std::map<std::string, Counter*> counterIdx;
   std::map<std::string, Histogram*> histogramIdx;
 };
 
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry* r = new MetricsRegistry();  // leaked: process-wide
   return *r;
 }
 
-MetricsRegistry::Impl& MetricsRegistry::impl() const {
-  static Impl* i = new Impl();
-  return *i;
+MetricsRegistry* bindThreadMetricsRegistry(MetricsRegistry* r) {
+  MetricsRegistry* prev = metrics_detail::t_registry;
+  metrics_detail::t_registry = r;
+  return prev;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   const auto it = im.counterIdx.find(name);
   if (it != im.counterIdx.end()) return *it->second;
@@ -71,7 +80,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   const auto it = im.histogramIdx.find(name);
   if (it != im.histogramIdx.end()) return *it->second;
@@ -84,7 +93,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 std::vector<CounterSample> MetricsRegistry::counterSnapshot() const {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   std::vector<CounterSample> out;
   out.reserve(im.counterIdx.size());
@@ -95,7 +104,7 @@ std::vector<CounterSample> MetricsRegistry::counterSnapshot() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogramNames() const {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   std::vector<std::string> out;
   for (const auto& [name, h] : im.histogramIdx) out.push_back(name);
@@ -104,14 +113,14 @@ std::vector<std::string> MetricsRegistry::histogramNames() const {
 
 const Histogram* MetricsRegistry::findHistogram(
     const std::string& name) const {
-  Impl& im = impl();
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   const auto it = im.histogramIdx.find(name);
   return it == im.histogramIdx.end() ? nullptr : it->second;
 }
 
-void MetricsRegistry::resetAll() {
-  Impl& im = impl();
+void MetricsRegistry::reset() {
+  Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   for (auto& [name, c] : im.counters) c.reset();
   for (auto& [name, h] : im.histograms) h.reset();
@@ -129,9 +138,9 @@ void escapeJson(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void writeMetricsJson(
-    std::ostream& os,
+    std::ostream& os, const MetricsRegistry& m,
+    const std::vector<SpanAggregate>& phases,
     const std::vector<std::pair<std::string, std::string>>& extra) {
-  MetricsRegistry& m = MetricsRegistry::instance();
   os << "{\n  \"schema\": 1,\n  \"counters\": {";
   const auto counters = m.counterSnapshot();
   for (std::size_t i = 0; i < counters.size(); ++i) {
@@ -162,7 +171,6 @@ void writeMetricsJson(
   // when tracing ran at Aggregate level or above; NOT thread-count
   // deterministic (wall clock).
   os << "\n  },\n  \"phases\": {";
-  const auto phases = spanAggregates();
   for (std::size_t i = 0; i < phases.size(); ++i) {
     os << (i ? ",\n    \"" : "\n    \"");
     escapeJson(os, phases[i].name);
@@ -176,6 +184,12 @@ void writeMetricsJson(
     os << "\": " << value;
   }
   os << "\n}\n";
+}
+
+void writeMetricsJson(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  writeMetricsJson(os, currentMetrics(), spanAggregates(), extra);
 }
 
 }  // namespace sadp

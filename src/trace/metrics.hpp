@@ -1,5 +1,5 @@
-// Process-wide run metrics: named monotonic counters and log-bucketed
-// histograms, plus the flat run-metrics JSON report.
+// Run metrics: named monotonic counters and log-bucketed histograms, plus
+// the flat run-metrics JSON report.
 //
 // Counters are relaxed atomic adds and are ALWAYS live (no enable gate):
 // an uncontended atomic increment is a few ns, far below every call site's
@@ -9,14 +9,26 @@
 // order-independent, counter totals are byte-identical for every
 // SADP_THREADS value -- the determinism contract of DESIGN.md §5.6/§5.7.
 // Timings (span aggregates, exported alongside) carry no such guarantee.
+//
+// A MetricsRegistry is an ordinary object so every run can own a fresh
+// one (RunContext); instance() is the process-default registry that
+// pre-context call sites and unbound threads fall back to. Counter and
+// histogram references are stable for their registry's lifetime -- cache
+// them in an object scoped to one run (a router, an engine), NEVER in a
+// function-local static: a static would pin the first run's registry and
+// silently alias every later run (the bug per-run registries exist to
+// kill).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "trace/trace.hpp"
 
 namespace sadp {
 
@@ -54,11 +66,15 @@ class Histogram {
 using CounterSample = std::pair<std::string, std::int64_t>;
 
 /// Registry of named counters and histograms. References returned by
-/// counter()/histogram() are stable for the process lifetime, so call
-/// sites cache them in a function-local static and pay only the atomic
-/// add afterwards.
+/// counter()/histogram() are stable for the registry's lifetime.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-default registry (the default-context shim).
   static MetricsRegistry& instance();
 
   Counter& counter(const std::string& name);
@@ -71,26 +87,51 @@ class MetricsRegistry {
   /// Looks up an existing histogram (nullptr when never registered).
   const Histogram* findHistogram(const std::string& name) const;
 
-  /// Zeroes every counter and histogram (names stay registered).
-  void resetAll();
+  /// Zeroes every counter and histogram (names stay registered), so one
+  /// registry can be reused across sequential runs without totals
+  /// accumulating for the process lifetime.
+  void reset();
+  /// Backwards-compatible alias of reset().
+  void resetAll() { reset(); }
 
  private:
-  MetricsRegistry() = default;
   struct Impl;
-  Impl& impl() const;
+  std::unique_ptr<Impl> impl_;
 };
 
-/// Convenience: the process-wide counter with this name.
+/// Rebinds the calling thread's default registry (what metricsCounter and
+/// the legacy writeMetricsJson resolve to); nullptr restores instance().
+/// Returns the previous binding. RunContext::Scope is the intended caller.
+MetricsRegistry* bindThreadMetricsRegistry(MetricsRegistry* r);
+
+namespace metrics_detail {
+extern thread_local MetricsRegistry* t_registry;  ///< null = instance()
+}  // namespace metrics_detail
+
+/// The calling thread's bound registry (instance() when unbound).
+inline MetricsRegistry& currentMetrics() {
+  MetricsRegistry* r = metrics_detail::t_registry;
+  return r ? *r : MetricsRegistry::instance();
+}
+
+/// Convenience: the thread-bound registry's counter with this name. Do
+/// not cache the result in a function-local static (see class comment).
 inline Counter& metricsCounter(const std::string& name) {
-  return MetricsRegistry::instance().counter(name);
+  return currentMetrics().counter(name);
 }
 
 /// Flat run-metrics JSON report: {"schema", "counters" (sorted by name),
-/// "histograms", "phases" (span wall-time aggregates from trace.hpp; empty
-/// unless tracing was enabled), then `extra` top-level pairs verbatim.
-/// `extra` values must already be valid JSON fragments (numbers, quoted
-/// strings, ...). Only the "counters" section is thread-count
-/// deterministic; "phases" holds wall-clock measurements.
+/// "histograms", "phases" (the given span wall-time aggregates), then
+/// `extra` top-level pairs verbatim. `extra` values must already be valid
+/// JSON fragments (numbers, quoted strings, ...). Only the "counters"
+/// section is thread-count deterministic; "phases" holds wall-clock
+/// measurements.
+void writeMetricsJson(
+    std::ostream& os, const MetricsRegistry& m,
+    const std::vector<SpanAggregate>& phases,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+/// Legacy shim: the thread-bound registry and trace sink.
 void writeMetricsJson(
     std::ostream& os,
     const std::vector<std::pair<std::string, std::string>>& extra = {});

@@ -1,76 +1,38 @@
 #include "util/parallel_for.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "run/run_context.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace sadp {
 
-namespace {
-
-std::atomic<int> g_override{0};
-
-int envThreadCount() {
-  if (const char* s = std::getenv("SADP_THREADS")) {
-    const int n = std::atoi(s);
-    if (n > 0) return n;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? int(hw) : 1;
-}
-
-/// Extra (non-caller) worker threads currently alive across every nested
-/// parallelFor. The process-wide budget is parallelThreadCount() - 1, so
-/// the total live worker count stays bounded at any nesting depth; budget
-/// freed by a finished outer worker becomes available to inner loops.
-std::atomic<int> g_extraInFlight{0};
-
-int reserveExtraWorkers(int want) {
-  if (want <= 0) return 0;
-  int cur = g_extraInFlight.load(std::memory_order_relaxed);
-  for (;;) {
-    const int avail = (parallelThreadCount() - 1) - cur;
-    if (avail <= 0) return 0;
-    const int take = std::min(want, avail);
-    if (g_extraInFlight.compare_exchange_weak(cur, cur + take,
-                                              std::memory_order_relaxed)) {
-      return take;
-    }
-  }
-}
-
-void releaseExtraWorkers(int n) {
-  if (n > 0) g_extraInFlight.fetch_sub(n, std::memory_order_relaxed);
-}
-
-}  // namespace
-
 int parallelThreadCount() {
-  const int o = g_override.load(std::memory_order_relaxed);
-  return o > 0 ? o : envThreadCount();
+  return RunContext::defaultContext().threadCount();
 }
 
 void setParallelThreads(int n) {
-  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  RunContext::defaultContext().setThreadCount(n);
 }
 
-void parallelFor(int n, const std::function<void(int)>& fn) {
+void parallelFor(RunContext& ctx, int n,
+                 const std::function<void(int)>& fn) {
   if (n <= 0) return;
   // Counted identically on the serial and threaded paths: counter totals
-  // must not depend on the worker count (determinism contract).
-  static Counter& calls = metricsCounter("parallel.calls");
-  static Counter& jobs = metricsCounter("parallel.jobs");
-  calls.add(1);
-  jobs.add(n);
+  // must not depend on the worker count (determinism contract). Looked up
+  // per call, never cached in a static: the registry is per-context.
+  MetricsRegistry& m = ctx.metrics();
+  m.counter("parallel.calls").add(1);
+  m.counter("parallel.jobs").add(n);
   const int extra =
-      reserveExtraWorkers(std::min(parallelThreadCount(), n) - 1);
+      ctx.reserveExtraWorkers(std::min(ctx.threadCount(), n) - 1);
   if (extra == 0) {
+    RunContext::Scope bind(ctx);
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -78,6 +40,7 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
   std::mutex errMutex;
   std::exception_ptr firstError;
   auto worker = [&](int slot) {
+    RunContext::Scope bind(ctx);
     SADP_SPAN_ARG("parallel.worker", slot);
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
@@ -95,8 +58,12 @@ void parallelFor(int n, const std::function<void(int)>& fn) {
   for (int t = 1; t <= extra; ++t) threads.emplace_back(worker, t);
   worker(0);
   for (std::thread& t : threads) t.join();
-  releaseExtraWorkers(extra);
+  ctx.releaseExtraWorkers(extra);
   if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelFor(int n, const std::function<void(int)>& fn) {
+  parallelFor(RunContext::current(), n, fn);
 }
 
 }  // namespace sadp

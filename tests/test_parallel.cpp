@@ -8,10 +8,12 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "netlist/benchmark.hpp"
 #include "route/router.hpp"
+#include "run/run_context.hpp"
 
 namespace sadp {
 namespace {
@@ -52,6 +54,53 @@ TEST(ParallelFor, OverrideBeatsEnvironment) {
   EXPECT_EQ(parallelThreadCount(), 3);
   setParallelThreads(0);  // back to SADP_THREADS / hardware default
   EXPECT_GE(parallelThreadCount(), 1);
+}
+
+TEST(ParallelFor, ContextOverloadCoversIndices) {
+  RunContext ctx;
+  ctx.setThreadCount(3);
+  std::vector<std::atomic<int>> hits(61);
+  parallelFor(ctx, 61, [&](int i) {
+    hits[std::size_t(i)].fetch_add(1);
+    // Workers run with the loop's context bound.
+    EXPECT_EQ(&RunContext::current(), &ctx);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The loop's counters land in the context's own registry, not the
+  // process default.
+  EXPECT_EQ(ctx.metrics().counter("parallel.calls").value(), 1);
+  EXPECT_EQ(ctx.metrics().counter("parallel.jobs").value(), 61);
+}
+
+TEST(ParallelFor, TwoContextsNeverOversubscribeGlobalBudget) {
+  // Two concurrent contexts, each entitled to threadCount()-1 extra
+  // workers on their own, must together stay within the process-wide pool
+  // of parallelThreadCount()-1 -- including across nested loops.
+  setParallelThreads(4);  // global pool: at most 3 extra workers
+  const int globalCap = parallelThreadCount() - 1;
+  std::atomic<int> maxSeen{0};
+  auto observe = [&]() {
+    const int now = globalExtraWorkersInFlight();
+    int prev = maxSeen.load();
+    while (now > prev && !maxSeen.compare_exchange_weak(prev, now)) {
+    }
+  };
+  auto driver = [&]() {
+    RunContext ctx;
+    ctx.setThreadCount(4);
+    for (int round = 0; round < 8; ++round) {
+      parallelFor(ctx, 16, [&](int) {
+        observe();
+        parallelFor(ctx, 4, [&](int) { observe(); });  // nested
+      });
+    }
+  };
+  std::thread a(driver), b(driver);
+  a.join();
+  b.join();
+  EXPECT_LE(maxSeen.load(), globalCap);
+  EXPECT_EQ(globalExtraWorkersInFlight(), 0);  // all budget returned
+  setParallelThreads(0);
 }
 
 bool sameReport(const OverlayReport& a, const OverlayReport& b) {

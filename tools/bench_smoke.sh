@@ -22,5 +22,34 @@ fi
 # build whose pipeline output diverges from the committed fixtures.
 (cd "$build_dir" && ctest -L golden --output-on-failure)
 
+# Batch-mode gate: two designs routed concurrently (--jobs 2) must emit
+# mask planes byte-identical to routing each alone; a mismatch means run
+# state leaked between contexts and any benchmark numbers are suspect.
+cli="$build_dir/tools/sadp_route_cli"
+if [ ! -x "$cli" ]; then
+  echo "bench_smoke: $cli not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+scratch=$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")
+trap 'rm -rf "$scratch"' EXIT
+job_a="--seed-demo 36 --width 110 --height 110 --threads 2"
+job_b="--seed-demo 28 --width 95 --height 95 --threads 2"
+# shellcheck disable=SC2086  # word-splitting the option strings is intended
+"$cli" $job_a --masks "$scratch/serialA_" >/dev/null || [ $? -eq 3 ]
+# shellcheck disable=SC2086
+"$cli" $job_b --masks "$scratch/serialB_" >/dev/null || [ $? -eq 3 ]
+printf '%s\n%s\n' \
+  "$job_a --masks $scratch/batchA_" \
+  "$job_b --masks $scratch/batchB_" > "$scratch/jobs.list"
+"$cli" --batch "$scratch/jobs.list" --jobs 2 >/dev/null || [ $? -eq 3 ]
+for f in "$scratch"/serial*.masks; do
+  twin=$(printf '%s' "$f" | sed 's/serial\([AB]_\)/batch\1/')
+  cmp -s "$f" "$twin" || {
+    echo "bench_smoke: batch output $twin differs from serial $f" >&2
+    exit 1
+  }
+done
+echo "bench_smoke: batch --jobs 2 mask planes byte-identical to serial"
+
 "$bench" --json "$repo_root/BENCH_kernels.json"
 echo "bench_smoke: updated $repo_root/BENCH_kernels.json"

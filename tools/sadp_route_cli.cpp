@@ -1,6 +1,7 @@
 // Command-line front end: route a netlist file and emit reports/artwork.
 //
 //   sadp_route_cli --nets design.nets --width 170 --height 170 [options]
+//   sadp_route_cli --batch jobs.list --jobs 4
 //
 // Options:
 //   --nets FILE         netlist in the sadp-netlist text format (required)
@@ -24,13 +25,29 @@
 //   --trace FILE        write a Chrome trace-event JSON (full span events)
 //   --metrics FILE      write a flat run-metrics JSON (counters, histograms,
 //                       per-phase wall times)
+//
+// Batch mode:
+//   --batch FILE        route many designs concurrently. Each non-blank,
+//                       non-# line of FILE is one job's whitespace-separated
+//                       option list (same options as above; --batch/--jobs
+//                       forbidden). Every job runs in its own RunContext, so
+//                       metrics/trace/CSV outputs are fully isolated and
+//                       byte-identical to running the jobs one at a time;
+//                       point jobs at distinct output files. Summaries print
+//                       in job order; the exit code is the worst job's.
+//   --jobs N            concurrent batch jobs (default 1)
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "netlist/benchmark.hpp"
 #include "route/router.hpp"
+#include "run/run_context.hpp"
 #include "sadp/mask_io.hpp"
 #include "sadp/svg.hpp"
 #include "trace/metrics.hpp"
@@ -63,26 +80,32 @@ struct CliArgs {
                "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
-               "       [--tile-words N] [--trace FILE] [--metrics FILE]\n";
+               "       [--tile-words N] [--trace FILE] [--metrics FILE]\n"
+               "   or: sadp_route_cli --batch LIST-FILE [--jobs N]\n";
   std::exit(2);
 }
 
-CliArgs parse(int argc, char** argv) {
+/// Parses one job's options. `batchFile`/`jobs` are only accepted at the
+/// top level (non-null pointers); batch-file lines pass null and get a
+/// hard error on nested batch options.
+CliArgs parseTokens(const std::vector<std::string>& tokens,
+                    std::string* batchFile, int* jobs) {
   CliArgs a;
-  auto value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage("missing option value");
-    return argv[++i];
+  const std::size_t n = tokens.size();
+  auto value = [&](std::size_t& i) -> const std::string& {
+    if (i + 1 >= n) usage("missing option value");
+    return tokens[++i];
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string opt = argv[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& opt = tokens[i];
     if (opt == "--nets") {
       a.netsFile = value(i);
     } else if (opt == "--width") {
-      a.width = Track(std::atoi(value(i)));
+      a.width = Track(std::atoi(value(i).c_str()));
     } else if (opt == "--height") {
-      a.height = Track(std::atoi(value(i)));
+      a.height = Track(std::atoi(value(i).c_str()));
     } else if (opt == "--layers") {
-      a.layers = std::atoi(value(i));
+      a.layers = std::atoi(value(i).c_str());
     } else if (opt == "--svg") {
       a.svgPrefix = value(i);
     } else if (opt == "--masks") {
@@ -97,40 +120,61 @@ CliArgs parse(int argc, char** argv) {
     } else if (opt == "--no-repair") {
       a.router.enableRepair = false;
     } else if (opt == "--seed-demo") {
-      a.seedDemo = std::atoi(value(i));
+      a.seedDemo = std::atoi(value(i).c_str());
     } else if (opt == "--threads") {
-      a.threads = std::atoi(value(i));
+      a.threads = std::atoi(value(i).c_str());
       if (a.threads <= 0) usage("--threads wants a positive count");
     } else if (opt == "--tile-words") {
-      a.decompose.tileWords = std::atoi(value(i));
+      a.decompose.tileWords = std::atoi(value(i).c_str());
     } else if (opt == "--trace") {
       a.traceFile = value(i);
     } else if (opt == "--metrics") {
       a.metricsFile = value(i);
+    } else if (opt == "--batch") {
+      if (batchFile == nullptr) usage("--batch not allowed inside a batch");
+      *batchFile = value(i);
+    } else if (opt == "--jobs") {
+      if (jobs == nullptr) usage("--jobs not allowed inside a batch");
+      *jobs = std::atoi(value(i).c_str());
+      if (*jobs <= 0) usage("--jobs wants a positive count");
     } else if (opt == "--help" || opt == "-h") {
       usage();
     } else {
       usage(("unknown option " + opt).c_str());
     }
   }
+  if (batchFile != nullptr && !batchFile->empty()) return a;  // batch driver
   if (a.width <= 0 || a.height <= 0) usage("--width/--height required");
   if (a.netsFile.empty() && a.seedDemo <= 0) usage("--nets required");
   return a;
 }
 
-}  // namespace
+/// One job's buffered results: nothing touches shared streams/files except
+/// the per-job output paths, so concurrent jobs stay deterministic.
+struct RunOutput {
+  std::string summary;  ///< the stdout block
+  std::string csvRow;   ///< one CSV line (empty when --csv absent)
+  int exitCode = 0;
+};
 
-int main(int argc, char** argv) {
-  const CliArgs args = parse(argc, argv);
+/// Routes one design inside its own RunContext. Everything the run
+/// measures (metrics, trace, CSV fields except nothing here is timed) is
+/// isolated in that context, so concurrent invocations with distinct
+/// output paths produce byte-identical files to serial execution.
+RunOutput runOne(const CliArgs& args) {
+  RunOutput out;
+  std::ostringstream os;
 
-  if (args.threads > 0) setParallelThreads(args.threads);
+  RunContext ctx;
+  if (args.threads > 0) ctx.setThreadCount(args.threads);
   // Full event capture only when someone will read the trace; the metrics
   // report only needs per-name aggregates.
   if (!args.traceFile.empty()) {
-    setTraceLevel(TraceLevel::Full);
+    ctx.setTraceLevel(TraceLevel::Full);
   } else if (!args.metricsFile.empty()) {
-    setTraceLevel(TraceLevel::Aggregate);
+    ctx.setTraceLevel(TraceLevel::Aggregate);
   }
+  RunContext::Scope bind(ctx);
 
   Netlist netlist;
   if (args.seedDemo > 0) {
@@ -144,28 +188,30 @@ int main(int argc, char** argv) {
   } else {
     std::ifstream f(args.netsFile);
     if (!f) {
-      std::cerr << "cannot open " << args.netsFile << "\n";
-      return 1;
+      os << "cannot open " << args.netsFile << "\n";
+      out.summary = os.str();
+      out.exitCode = 1;
+      return out;
     }
     netlist = readNetlist(f);
   }
 
   RoutingGrid grid(args.width, args.height, args.layers, DesignRules{});
-  OverlayAwareRouter router(grid, netlist, args.router);
+  OverlayAwareRouter router(grid, netlist, args.router, &ctx);
   const RoutingStats stats = router.run();
   const OverlayReport report = router.physicalReport(args.decompose);
 
-  std::cout << "nets        " << stats.totalNets << "\n"
-            << "threads     " << parallelThreadCount() << "\n"
-            << "routed      " << stats.routedNets << " ("
-            << stats.routability() << "%)\n"
-            << "wirelength  " << stats.wirelength << " tracks, "
-            << stats.vias << " vias, " << stats.ripUps << " rip-ups\n"
-            << "overlay     " << report.sideOverlayNm << " nm in "
-            << report.sideOverlaySections << " sections ("
-            << report.hardOverlays << " hard)\n"
-            << "tip overlays " << report.tipOverlays << "\n"
-            << "cut conflicts " << report.cutConflicts() << "\n";
+  os << "nets        " << stats.totalNets << "\n"
+     << "threads     " << ctx.threadCount() << "\n"
+     << "routed      " << stats.routedNets << " ("
+     << stats.routability() << "%)\n"
+     << "wirelength  " << stats.wirelength << " tracks, "
+     << stats.vias << " vias, " << stats.ripUps << " rip-ups\n"
+     << "overlay     " << report.sideOverlayNm << " nm in "
+     << report.sideOverlaySections << " sections ("
+     << report.hardOverlays << " hard)\n"
+     << "tip overlays " << report.tipOverlays << "\n"
+     << "cut conflicts " << report.cutConflicts() << "\n";
 
   for (int layer = 0; layer < grid.layers(); ++layer) {
     if (!args.svgPrefix.empty() || !args.maskPrefix.empty()) {
@@ -182,30 +228,111 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.csvFile.empty()) {
-    std::ofstream cf(args.csvFile, std::ios::app);
-    cf << stats.totalNets << ',' << stats.routability() << ','
-       << report.sideOverlayNm << ',' << report.cutConflicts() << ','
-       << report.hardOverlays << ',' << parallelThreadCount() << "\n";
+    std::ostringstream row;
+    row << stats.totalNets << ',' << stats.routability() << ','
+        << report.sideOverlayNm << ',' << report.cutConflicts() << ','
+        << report.hardOverlays << ',' << ctx.threadCount() << "\n";
+    out.csvRow = row.str();
   }
   if (!args.metricsFile.empty()) {
     std::ofstream mf(args.metricsFile);
     writeMetricsJson(
-        mf, {{"nets", std::to_string(stats.totalNets)},
-             {"routed", std::to_string(stats.routedNets)},
-             {"routability", std::to_string(stats.routability())},
-             {"wirelength", std::to_string(stats.wirelength)},
-             {"vias", std::to_string(stats.vias)},
-             {"ripups", std::to_string(stats.ripUps)},
-             {"side_overlay_nm", std::to_string(report.sideOverlayNm)},
-             {"cut_conflicts", std::to_string(report.cutConflicts())},
-             {"hard_overlays", std::to_string(report.hardOverlays)},
-             {"threads", std::to_string(parallelThreadCount())}});
-    if (!mf) std::cerr << "cannot write " << args.metricsFile << "\n";
+        mf, ctx.metrics(), ctx.trace().aggregates(),
+        {{"nets", std::to_string(stats.totalNets)},
+         {"routed", std::to_string(stats.routedNets)},
+         {"routability", std::to_string(stats.routability())},
+         {"wirelength", std::to_string(stats.wirelength)},
+         {"vias", std::to_string(stats.vias)},
+         {"ripups", std::to_string(stats.ripUps)},
+         {"side_overlay_nm", std::to_string(report.sideOverlayNm)},
+         {"cut_conflicts", std::to_string(report.cutConflicts())},
+         {"hard_overlays", std::to_string(report.hardOverlays)},
+         {"threads", std::to_string(ctx.threadCount())}});
+    if (!mf) os << "cannot write " << args.metricsFile << "\n";
   }
   if (!args.traceFile.empty()) {
     std::ofstream tf(args.traceFile);
-    writeChromeTrace(tf);
-    if (!tf) std::cerr << "cannot write " << args.traceFile << "\n";
+    ctx.trace().writeChromeTrace(tf);
+    if (!tf) os << "cannot write " << args.traceFile << "\n";
   }
-  return report.cutConflicts() == 0 && report.hardOverlays == 0 ? 0 : 3;
+  out.summary = os.str();
+  out.exitCode =
+      report.cutConflicts() == 0 && report.hardOverlays == 0 ? 0 : 3;
+  return out;
+}
+
+/// Appends a job's CSV row to its --csv file. Called from the main thread
+/// only, in job order, so rows land deterministically even when jobs
+/// shared one CSV path.
+void appendCsv(const CliArgs& args, const RunOutput& out) {
+  if (args.csvFile.empty() || out.csvRow.empty()) return;
+  std::ofstream cf(args.csvFile, std::ios::app);
+  cf << out.csvRow;
+}
+
+int runBatch(const std::string& batchFile, int jobs) {
+  std::ifstream f(batchFile);
+  if (!f) {
+    std::cerr << "cannot open " << batchFile << "\n";
+    return 1;
+  }
+  // Parse every line up front (parse errors exit before any work starts).
+  std::vector<std::string> lines;
+  std::vector<CliArgs> jobArgs;
+  std::string line;
+  while (std::getline(f, line)) {
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    if (tokens.empty() || tokens.front()[0] == '#') continue;
+    lines.push_back(line);
+    jobArgs.push_back(parseTokens(tokens, nullptr, nullptr));
+  }
+  if (jobArgs.empty()) {
+    std::cerr << "no jobs in " << batchFile << "\n";
+    return 1;
+  }
+
+  std::vector<RunOutput> results(jobArgs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobArgs.size()) return;
+      results[i] = runOne(jobArgs[i]);
+    }
+  };
+  const int threads =
+      std::min<std::size_t>(std::size_t(jobs), jobArgs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(std::size_t(threads));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  int exitCode = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::cout << "=== job " << i << ": " << lines[i] << "\n"
+              << results[i].summary;
+    appendCsv(jobArgs[i], results[i]);
+    exitCode = std::max(exitCode, results[i].exitCode);
+  }
+  return exitCode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  std::string batchFile;
+  int jobs = 1;
+  const CliArgs args = parseTokens(tokens, &batchFile, &jobs);
+
+  if (!batchFile.empty()) return runBatch(batchFile, jobs);
+
+  const RunOutput out = runOne(args);
+  std::cout << out.summary;
+  appendCsv(args, out);
+  return out.exitCode;
 }
