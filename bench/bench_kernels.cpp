@@ -201,6 +201,46 @@ BENCHMARK(BM_DecomposeLayerTiled)
     ->Args({4, 4})
     ->ArgNames({"tile_words", "threads"});
 
+/// Static vs dynamic band scheduling on a density-skewed layer: a dense
+/// block of short wires packed into the low-x words plus sparse long
+/// wires stretching the window to ~17 words, so per-band work varies by
+/// an order of magnitude and LPT + stealing can actually rebalance.
+/// schedule 0 = Static, 1 = Dynamic; both produce identical masks.
+void BM_DecomposeLayerSkewSched(benchmark::State& state) {
+  std::vector<ColoredFragment> frags;
+  NetId net = 1;
+  for (Track y = 0; y < 48; ++y) {
+    const Track x0 = Track((y * 3) % 9);
+    frags.push_back({Fragment{x0, Track(y * 2), Track(x0 + 14),
+                              Track(y * 2 + 1), net},
+                     (y % 2) ? Color::Second : Color::Core});
+    ++net;
+  }
+  for (int k = 0; k < 4; ++k) {
+    frags.push_back({Fragment{Track(40 + 50 * k), Track(8 * k + 1),
+                              Track(256), Track(8 * k + 2), net},
+                     (k % 2) ? Color::Second : Color::Core});
+    ++net;
+  }
+  const DesignRules rules;
+  DecomposeOptions opts;
+  opts.tileWords = 2;
+  opts.schedule =
+      state.range(0) ? BandSchedule::Dynamic : BandSchedule::Static;
+  setParallelThreads(int(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomposeLayer(frags, rules, opts));
+  }
+  setParallelThreads(0);
+  state.SetItemsProcessed(state.iterations() * std::int64_t(frags.size()));
+}
+BENCHMARK(BM_DecomposeLayerSkewSched)
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->ArgNames({"dynamic", "threads"});
+
 // ---- Full-chip physical report (per-layer parallel) ------------------------
 
 /// One routed multi-layer instance shared by the report benchmarks.

@@ -34,6 +34,20 @@
 
 namespace sadp {
 
+/// Linear cost model for weight-scheduled loops (parallelForWeighted):
+/// estimated ns per raster word of band area plus ns per set pixel of
+/// band population. All-zero means "no hint" and consumers fall back to
+/// their built-in defaults. Typically produced by fitCostHints
+/// (src/sadp/decompose.hpp) from one traced run and installed on the
+/// context of the next (setCostHints) -- the hints only reorder work
+/// assignment, never results, so a stale or wrong hint is a performance
+/// bug at worst.
+struct CostHints {
+  double nsPerWord = 0.0;
+  double nsPerSetPx = 0.0;
+  bool empty() const { return !(nsPerWord > 0.0) && !(nsPerSetPx > 0.0); }
+};
+
 class RunContext {
  public:
   /// Fresh registries; thread count from SADP_THREADS (parsed once here)
@@ -63,6 +77,14 @@ class RunContext {
   /// gets 0 runs inline.
   int reserveExtraWorkers(int want);
   void releaseExtraWorkers(int n);
+
+  /// Scheduler cost hints consumed by weight-scheduled passes (the
+  /// dynamic band scheduler of decomposeLayer). Install between runs:
+  /// the two fields are stored as independent relaxed atomics, so a
+  /// setCostHints racing live work could be observed half-applied
+  /// (harmless for results, but not a sensible thing to do).
+  CostHints costHints() const;
+  void setCostHints(const CostHints& h);
 
   /// The process-default context: wraps MetricsRegistry::instance() and
   /// TraceSink::defaultSink(), honors setParallelThreads(). What unbound
@@ -97,6 +119,8 @@ class RunContext {
   int envThreads_;  ///< SADP_THREADS > 0, else hardware; parsed at ctor
   std::atomic<int> explicitThreads_{0};
   std::atomic<int> extraInFlight_{0};
+  std::atomic<double> hintNsPerWord_{0.0};
+  std::atomic<double> hintNsPerSetPx_{0.0};
 };
 
 /// Extra (non-caller) parallelFor workers currently alive across every

@@ -14,6 +14,20 @@ std::size_t Bitmap::count() const {
   return n;
 }
 
+std::vector<std::int64_t> Bitmap::wordColumnPopcountPrefix() const {
+  std::vector<std::int64_t> pre(std::size_t(wpr_) + 1, 0);
+  for (int y = 0; y < h_; ++y) {
+    const std::uint64_t* row = words_.data() + std::size_t(y) * wpr_;
+    for (int j = 0; j < wpr_; ++j) {
+      pre[std::size_t(j) + 1] += std::popcount(row[j]);
+    }
+  }
+  for (int j = 0; j < wpr_; ++j) {
+    pre[std::size_t(j) + 1] += pre[std::size_t(j)];
+  }
+  return pre;
+}
+
 void Bitmap::fillRect(int xlo, int ylo, int xhi, int yhi, bool v) {
   xlo = std::max(xlo, 0);
   ylo = std::max(ylo, 0);

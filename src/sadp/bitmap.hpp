@@ -107,6 +107,15 @@ class Bitmap {
   void blitWordColumns(const Bitmap& src, int srcWord0, int dstWord0,
                        int nWords);
 
+  /// Population-count prefix scan over word columns: result[i] = number
+  /// of set pixels in word columns [0, i), i.e. pixels with x < 64*i
+  /// (length wordsPerRow(width()) + 1, result.front() == 0,
+  /// result.back() == count()). The zero-tail invariant makes the last
+  /// column exact with no masking. A band's population is
+  /// result[hi] - result[lo] -- the dynamic band scheduler's cost signal
+  /// (DESIGN.md §5.6).
+  std::vector<std::int64_t> wordColumnPopcountPrefix() const;
+
   /// Packed rows, wordsPerRow(width()) words per row, LSB = lowest x.
   const std::vector<std::uint64_t>& words() const { return words_; }
   static int wordsPerRow(int width) { return (width + 63) >> 6; }

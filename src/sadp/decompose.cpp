@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -83,6 +84,14 @@ int resolveTileWords(const DecomposeOptions& opts, int windowWords) {
 using TileStageFn =
     std::function<void(const std::vector<Bitmap>&, std::vector<Bitmap>&)>;
 
+/// Built-in band cost model used when neither DecomposeOptions::costHints
+/// nor the run context supplies one: a cropped raster word of morphology
+/// costs one unit, a set pixel adds ~0.05 (the run-extraction passes --
+/// narrowGapFlags, the anchored opening's content-dependent tail -- scale
+/// with population, the word-wise passes with area). Rough calibration
+/// from bench_kernels; refined per machine by fitCostHints.
+constexpr CostHints kDefaultCostHints{1.0, 0.05};
+
 /// Runs one morphology stage over word-aligned column bands: every band
 /// sees each input cropped to the band plus `haloWords` of context, `fn`
 /// fills band-local outputs, and only the band's core words are stitched
@@ -90,24 +99,54 @@ using TileStageFn =
 /// columns, so they are safe as concurrent parallelFor items; with the
 /// halo at least the stage's influence radius the stitched planes are
 /// byte-identical to running `fn` on the whole window.
-void runTiledStage(RunContext& ctx, std::initializer_list<const Bitmap*> in,
+///
+/// Band-to-worker assignment follows `schedule`: Static is the shared
+/// cursor of parallelFor, Dynamic weighs each band by
+/// hints.nsPerWord * cropped word area + hints.nsPerSetPx * population
+/// (from a popcount prefix scan of the input planes) and runs the bands
+/// through the work-stealing parallelForWeighted. Everything metered here
+/// -- the tile counters, the per-band span and its population arg -- is a
+/// property of the layout and tile width, computed identically in both
+/// modes, so the metrics stream never depends on the schedule.
+void runTiledStage(RunContext& ctx, BandSchedule schedule,
+                   const CostHints& hints,
+                   std::initializer_list<const Bitmap*> in,
                    std::initializer_list<Bitmap*> out, int tileWords,
                    int haloWords, const TileStageFn& fn) {
   const Bitmap& first = **in.begin();
   const int wpr = Bitmap::wordsPerRow(first.width());
+  const int rows = first.height();
   const int bands = (wpr + tileWords - 1) / tileWords;
   // Looked up per stage, never cached in a static: the registry is
   // per-context.
   MetricsRegistry& m = ctx.metrics();
   m.counter("decompose.tiles").add(bands);
   Counter& tileWordsDone = m.counter("decompose.tile_words");
-  parallelFor(ctx, bands, [&](int b) {
-    SADP_SPAN_ARG("decompose.tile", b);
+  Counter& tileAreaWords = m.counter("decompose.tile_area_words");
+  Counter& tilePop = m.counter("decompose.tile_pop");
+  // Summed word-column populations of all input planes: band b's cost
+  // signal is pop[hi] - pop[lo] over its cropped columns.
+  std::vector<std::int64_t> pop(std::size_t(wpr) + 1, 0);
+  for (const Bitmap* p : in) {
+    const std::vector<std::int64_t> pre = p->wordColumnPopcountPrefix();
+    for (std::size_t k = 0; k < pop.size(); ++k) pop[k] += pre[k];
+  }
+  const auto cropLo = [&](int b) {
+    return std::max(0, b * tileWords - haloWords);
+  };
+  const auto cropHi = [&](int b) {
+    return std::min(wpr, std::min(wpr, b * tileWords + tileWords) + haloWords);
+  };
+  auto body = [&](int b) {
     const int w0 = b * tileWords;
     const int w1 = std::min(wpr, w0 + tileWords);
-    const int lo = std::max(0, w0 - haloWords);
-    const int hi = std::min(wpr, w1 + haloWords);
+    const int lo = cropLo(b);
+    const int hi = cropHi(b);
+    const std::int64_t bandPop = pop[std::size_t(hi)] - pop[std::size_t(lo)];
+    SADP_SPAN_ARG("decompose.tile", bandPop);
     tileWordsDone.add(hi - lo);
+    tileAreaWords.add(std::int64_t(hi - lo) * rows);
+    tilePop.add(bandPop);
     std::vector<Bitmap> sub;
     sub.reserve(in.size());
     for (const Bitmap* p : in) {
@@ -119,7 +158,22 @@ void runTiledStage(RunContext& ctx, std::initializer_list<const Bitmap*> in,
     for (Bitmap* p : out) {
       p->blitWordColumns(res[i++], w0 - lo, w0, w1 - w0);
     }
-  });
+  };
+  if (schedule == BandSchedule::Dynamic) {
+    std::vector<std::int64_t> weights(std::size_t(bands), 0);
+    for (int b = 0; b < bands; ++b) {
+      const int lo = cropLo(b), hi = cropHi(b);
+      const double cost =
+          hints.nsPerWord * double(std::int64_t(hi - lo) * rows) +
+          hints.nsPerSetPx *
+              double(pop[std::size_t(hi)] - pop[std::size_t(lo)]);
+      weights[std::size_t(b)] =
+          std::max<std::int64_t>(1, std::llround(cost));
+    }
+    parallelForWeighted(ctx, bands, weights, body);
+  } else {
+    parallelFor(ctx, bands, body);
+  }
 }
 
 }  // namespace
@@ -242,6 +296,13 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   windowWords.add(std::int64_t(wpr) * rr.h);
   if (tileWords > 0) tiledCalls.add(1);
 
+  // Band scheduling: explicit option hints beat the context's installed
+  // hints beat the built-in defaults. Hints and schedule mode reorder
+  // work assignment only -- never planes, reports, or counters.
+  const BandSchedule schedule = opts.schedule;
+  CostHints hints = opts.costHints ? *opts.costHints : ctx.costHints();
+  if (hints.empty()) hints = kDefaultCostHints;
+
   // ---- Step 1: target metal and real core shapes ---------------------------
   Bitmap target(rr.w, rr.h), coreRaw(rr.w, rr.h);
   std::vector<CoreShape> shapes;
@@ -290,7 +351,8 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
     // otherwise the assist's spacer would eat the neighboring pattern.
     if (tileWords > 0) {
       Bitmap dil(rr.w, rr.h);
-      runTiledStage(ctx, {&target}, {&dil}, tileWords, haloWords,
+      runTiledStage(ctx, schedule, hints, {&target}, {&dil}, tileWords,
+                    haloWords,
                     [&](const std::vector<Bitmap>& in,
                         std::vector<Bitmap>& res) {
                       res[0] = in[0].dilated(spacerPx);
@@ -395,8 +457,8 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   {
     SADP_SPAN("decompose.spacer");
     if (tileWords > 0) {
-      runTiledStage(ctx, {&coreMask, &target}, {&spacer, &eaten, &cut}, tileWords,
-                    haloWords,
+      runTiledStage(ctx, schedule, hints, {&coreMask, &target},
+                    {&spacer, &eaten, &cut}, tileWords, haloWords,
                     [&](const std::vector<Bitmap>& in,
                         std::vector<Bitmap>& res) {
                       spacerStage(in[0], in[1], res[0], res[1], res[2]);
@@ -508,8 +570,8 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   };
   Bitmap flaggedWidth(rr.w, rr.h), flaggedSpace(rr.w, rr.h);
   if (tileWords > 0) {
-    runTiledStage(ctx, {&cut, &target}, {&flaggedWidth, &flaggedSpace}, tileWords,
-                  haloWords,
+    runTiledStage(ctx, schedule, hints, {&cut, &target},
+                  {&flaggedWidth, &flaggedSpace}, tileWords, haloWords,
                   [&](const std::vector<Bitmap>& in,
                       std::vector<Bitmap>& res) {
                     mrcStage(in[0], in[1], res[0], res[1]);
@@ -572,6 +634,41 @@ Bitmap narrowGapFlags(const Bitmap& cut, const Bitmap& target, int minGapPx) {
   Bitmap flagged = rowPass(cut, target);
   flagged |= rowPass(cut.transposed(), target.transposed()).transposed();
   return flagged;
+}
+
+CostHints fitCostHints(const RunContext& ctx) {
+  // (population, duration) sample per band from the Full-level trace;
+  // the span arg is the band's summed input population (runTiledStage).
+  std::vector<std::pair<double, double>> pts;
+  for (const TraceEvent& e : ctx.trace().collectEvents()) {
+    if (e.name == "decompose.tile" && e.hasArg) {
+      pts.emplace_back(double(e.arg), double(e.durNs));
+    }
+  }
+  const std::int64_t bands = ctx.metrics().counter("decompose.tiles").value();
+  const std::int64_t areaWords =
+      ctx.metrics().counter("decompose.tile_area_words").value();
+  if (pts.size() < 2 || bands <= 0 || areaWords <= 0) return {};
+  // Least squares durNs = intercept + slope * pop. Zero population
+  // variance (uniform layouts) degenerates to slope 0: the fit then only
+  // measures the per-area term, which is still a valid hint.
+  double meanPop = 0, meanDur = 0;
+  for (const auto& [p, d] : pts) {
+    meanPop += p;
+    meanDur += d;
+  }
+  meanPop /= double(pts.size());
+  meanDur /= double(pts.size());
+  double cov = 0, var = 0;
+  for (const auto& [p, d] : pts) {
+    cov += (p - meanPop) * (d - meanDur);
+    var += (p - meanPop) * (p - meanPop);
+  }
+  const double nsPerSetPx = var > 0 ? std::max(0.0, cov / var) : 0.0;
+  const double interceptNs = meanDur - nsPerSetPx * meanPop;
+  const double meanBandAreaWords = double(areaWords) / double(bands);
+  const double nsPerWord = std::max(0.0, interceptNs / meanBandAreaWords);
+  return {nsPerWord, nsPerSetPx};
 }
 
 }  // namespace sadp

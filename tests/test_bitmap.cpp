@@ -683,6 +683,64 @@ TEST(BitmapFingerprint, TracksEquality) {
   EXPECT_NE(fingerprint(Bitmap(1, 1)), fingerprint(Bitmap(1, 2)));
 }
 
+// Naive per-pixel reference for the popcount prefix scan: count set
+// pixels with x < 64*i by walking every pixel.
+std::vector<std::int64_t> naivePopcountPrefix(const Bitmap& b) {
+  std::vector<std::int64_t> out(std::size_t(Bitmap::wordsPerRow(b.width())) + 1,
+                                0);
+  for (int y = 0; y < b.height(); ++y)
+    for (int x = 0; x < b.width(); ++x)
+      if (b.get(x, y)) ++out[std::size_t(x >> 6) + 1];
+  for (std::size_t i = 1; i < out.size(); ++i) out[i] += out[i - 1];
+  return out;
+}
+
+TEST(BitmapPopcountPrefix, DegenerateRasters) {
+  // Zero-area raster: one word column of nothing.
+  EXPECT_EQ(Bitmap(0, 0).wordColumnPopcountPrefix(),
+            (std::vector<std::int64_t>{0}));
+  // Single pixel in each word-boundary column of a 3-word raster.
+  for (int x : {0, 63, 64, 127, 128, 129}) {
+    Bitmap b(130, 5);
+    b.set(x, 3);
+    const auto p = b.wordColumnPopcountPrefix();
+    ASSERT_EQ(p.size(), 4u) << "x=" << x;
+    EXPECT_EQ(p, naivePopcountPrefix(b)) << "x=" << x;
+    EXPECT_EQ(p.back(), 1);
+  }
+}
+
+TEST(BitmapPopcountPrefix, FullWindow) {
+  for (int w : kWidths) {
+    Bitmap b(w, 9);
+    b.fillRect(0, 0, w, 9);
+    const auto p = b.wordColumnPopcountPrefix();
+    EXPECT_EQ(p, naivePopcountPrefix(b)) << "w=" << w;
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), std::int64_t(w) * 9);
+    // The ragged tail column must count only real pixels, never padding.
+    for (std::size_t i = 1; i < p.size(); ++i)
+      EXPECT_LE(p[i] - p[i - 1], std::int64_t(64) * 9) << "w=" << w;
+  }
+}
+
+TEST(BitmapPopcountPrefix, RandomPlanesMatchNaiveReference) {
+  std::mt19937 rng(2718);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int w = kWidths[std::size_t(trial) % std::size(kWidths)];
+    const int h = kHeights[std::size_t(trial) % std::size(kHeights)];
+    const double density = (trial % 5) * 0.25;  // 0, sparse ... full
+    const Bitmap b = randomBitmap(w, h, density, rng);
+    const auto p = b.wordColumnPopcountPrefix();
+    EXPECT_EQ(p, naivePopcountPrefix(b))
+        << "trial=" << trial << " w=" << w << " h=" << h;
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.back(), std::int64_t(b.count()));
+    // Prefix sums are monotone.
+    for (std::size_t i = 1; i < p.size(); ++i) EXPECT_GE(p[i], p[i - 1]);
+  }
+}
+
 TEST(BitmapProperty, RowRunsMatchByteScan) {
   std::mt19937 rng(1618);
   for (int w : kWidths) {

@@ -12,6 +12,7 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "eval/eval.hpp"
 #include "netlist/benchmark.hpp"
@@ -37,7 +38,8 @@ std::string hex16(std::uint64_t v) {
 /// CSV (cpuSeconds is the only nondeterministic column, so it is pinned to
 /// 0) followed by one fingerprint line per layer covering all six mask
 /// planes of the decomposition.
-std::string runPipeline(int threads, int tileWords) {
+std::string runPipeline(int threads, int tileWords,
+                        BandSchedule schedule = BandSchedule::Static) {
   setParallelThreads(threads);
   const BenchmarkSpec spec = paperBenchmark("Test1").scaled(0.06);
   BenchmarkInstance inst = makeBenchmark(spec);
@@ -45,6 +47,7 @@ std::string runPipeline(int threads, int tileWords) {
   const RoutingStats stats = router.run();
   DecomposeOptions opts;
   opts.tileWords = tileWords;
+  opts.schedule = schedule;
   const OverlayReport phys = router.physicalReport(opts);
 
   ExperimentRow row;
@@ -94,12 +97,117 @@ TEST(GoldenE2E, MatchesCommittedFixtureAcrossThreadsAndTiling) {
       << "untiled single-thread pipeline diverged from the fixture";
   // The document must be invariant to the worker count and the band width:
   // tiling and threading change how the work is split, never the result.
+  // ... nor to the band schedule: dynamic work stealing must emit the
+  // exact document the fixture froze before the scheduler existed.
   const struct {
     int threads, tileWords;
-  } configs[] = {{1, 2}, {4, -1}, {4, 2}};
+    BandSchedule schedule;
+  } configs[] = {{1, 2, BandSchedule::Static},
+                 {4, -1, BandSchedule::Static},
+                 {4, 2, BandSchedule::Static},
+                 {1, 2, BandSchedule::Dynamic},
+                 {4, -1, BandSchedule::Dynamic},
+                 {4, 2, BandSchedule::Dynamic},
+                 {4, 0, BandSchedule::Dynamic}};
   for (const auto& c : configs) {
-    EXPECT_EQ(runPipeline(c.threads, c.tileWords), golden)
-        << "threads=" << c.threads << " tileWords=" << c.tileWords;
+    EXPECT_EQ(runPipeline(c.threads, c.tileWords, c.schedule), golden)
+        << "threads=" << c.threads << " tileWords=" << c.tileWords
+        << " schedule=" << (c.schedule == BandSchedule::Dynamic ? "dynamic"
+                                                                : "static");
+  }
+}
+
+/// The imbalanced fixture the dynamic scheduler exists for: layer-0-style
+/// skewed density -- a dense block of short wires crammed into the low-x
+/// words plus a few sparse wires stretching the window to ~15 words, so
+/// with 2-word bands the leftmost band holds most of the set pixels.
+std::vector<ColoredFragment> skewedLayer() {
+  std::vector<ColoredFragment> frags;
+  NetId net = 1;
+  // Dense block: 12 rows of staggered short wires within x < 20.
+  for (int y = 0; y < 12; ++y) {
+    const Track x0 = Track((y * 3) % 7);
+    frags.push_back({Fragment{x0, Track(y), Track(x0 + 5 + y % 4),
+                              Track(y + 1), net},
+                     (y % 2) ? Color::Second : Color::Core});
+    ++net;
+    frags.push_back({Fragment{Track(x0 + 8), Track(y), Track(x0 + 13),
+                              Track(y + 1), net},
+                     (y % 3) ? Color::Core : Color::Second});
+    ++net;
+  }
+  // Sparse tail: three long wires reaching x = 230 (~15 raster words).
+  for (int k = 0; k < 3; ++k) {
+    frags.push_back({Fragment{Track(30 + 60 * k), Track(2 + 4 * k),
+                              Track(230), Track(3 + 4 * k), net},
+                     k == 1 ? Color::Second : Color::Core});
+    ++net;
+  }
+  return frags;
+}
+
+/// Golden document of one decomposition: the overlay report's fields, the
+/// six plane fingerprints, and the cut mask's nm rectangles.
+std::string decomposeDoc(int threads, int tileWords, BandSchedule schedule) {
+  setParallelThreads(threads);
+  const DesignRules rules;
+  DecomposeOptions opts;
+  opts.tileWords = tileWords;
+  opts.schedule = schedule;
+  const std::vector<ColoredFragment> frags = skewedLayer();
+  const LayerDecomposition d = decomposeLayer(frags, rules, opts);
+  std::ostringstream doc;
+  doc << "sideOverlayNm=" << d.report.sideOverlayNm
+      << " sections=" << d.report.sideOverlaySections
+      << " hard=" << d.report.hardOverlays << " tip=" << d.report.tipOverlays
+      << " cutW=" << d.report.cutWidthConflicts
+      << " cutS=" << d.report.cutSpaceConflicts
+      << " spacerOverTarget=" << d.report.spacerOverTargetPx << "\n";
+  doc << "target=" << hex16(fingerprint(d.target))
+      << " core=" << hex16(fingerprint(d.coreMask))
+      << " spacer=" << hex16(fingerprint(d.spacer))
+      << " cut=" << hex16(fingerprint(d.cut))
+      << " assists=" << hex16(fingerprint(d.assists))
+      << " bridges=" << hex16(fingerprint(d.bridges)) << "\n";
+  for (const Rect& r : rasterToNmRects(d.cut, d.windowNm))
+    doc << "cut " << r.xlo << " " << r.ylo << " " << r.xhi << " " << r.yhi
+        << "\n";
+  setParallelThreads(0);
+  return doc.str();
+}
+
+TEST(GoldenE2E, SkewedDensityFixtureInvariantToSchedule) {
+  const std::string path =
+      std::string(SADP_GOLDEN_DIR) + "/skewed_layer.golden";
+  const std::string fresh = decomposeDoc(1, 2, BandSchedule::Static);
+  if (std::getenv("SADP_UPDATE_GOLDEN")) {
+    std::ofstream f(path, std::ios::binary);
+    ASSERT_TRUE(f) << "cannot write " << path;
+    f << fresh;
+    ASSERT_TRUE(bool(f)) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f) << "missing fixture " << path
+                 << " -- regenerate with SADP_UPDATE_GOLDEN=1";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string golden = buf.str();
+  EXPECT_EQ(fresh, golden)
+      << "serial skewed-layer decomposition diverged from the fixture";
+  const struct {
+    int threads, tileWords;
+    BandSchedule schedule;
+  } configs[] = {{1, -1, BandSchedule::Static},
+                 {4, 2, BandSchedule::Static},
+                 {4, 2, BandSchedule::Dynamic},
+                 {8, 1, BandSchedule::Dynamic},
+                 {4, 0, BandSchedule::Dynamic}};
+  for (const auto& c : configs) {
+    EXPECT_EQ(decomposeDoc(c.threads, c.tileWords, c.schedule), golden)
+        << "threads=" << c.threads << " tileWords=" << c.tileWords
+        << " schedule=" << (c.schedule == BandSchedule::Dynamic ? "dynamic"
+                                                                : "static");
   }
 }
 

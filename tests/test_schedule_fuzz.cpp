@@ -1,0 +1,199 @@
+// Randomized scheduler-determinism fuzz suite (ctest label `fuzz`): the
+// band scheduler may change WHO computes each tiled-morphology band --
+// serial, static shared-cursor, or dynamic work stealing with arbitrary
+// cost hints -- but never WHAT comes out. Every trial draws a random
+// layout, thread count, tile width, trace level, and cost model, then
+// asserts mask fingerprints, rasterToNmRects output, the overlay report,
+// and the full metric counter snapshot are byte-identical across the
+// serial / static / dynamic runs (and that the mask planes also match the
+// untiled whole-window reference). Run under -DSADP_SANITIZE=thread, the
+// same trials race-check the work-stealing queues.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "run/run_context.hpp"
+#include "sadp/decompose.hpp"
+#include "trace/trace.hpp"
+#include "util/parallel_for.hpp"
+
+namespace sadp {
+namespace {
+
+const DesignRules kRules;  // paper's 10 nm-node instance
+
+Fragment hw(NetId net, Track x0, Track x1, Track y) {
+  return Fragment{x0, y, x1, y + 1, net};
+}
+Fragment vw(NetId net, Track x, Track y0, Track y1) {
+  return Fragment{x, y0, x + 1, y1, net};
+}
+
+/// Seeded random layer. Window width classes span one raster word up to
+/// ~15 words so every band count occurs; a skew knob occasionally packs
+/// most fragments into the leftmost fifth of the window, the regime where
+/// static and dynamic schedules actually assign bands differently.
+std::vector<ColoredFragment> randomFragments(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const int kMaxX[] = {12, 48, 130, 230};
+  std::uniform_int_distribution<int> widthPick(0, 3);
+  const int maxX = kMaxX[widthPick(rng)];
+  std::bernoulli_distribution skewed(0.4), horiz(0.7), second(0.5);
+  const bool skew = skewed(rng);
+  std::uniform_int_distribution<int> nF(1, 14), dxAll(0, maxX - 2),
+      dxSkew(0, std::max(1, maxX / 5)), dy(0, 14), len(1, 12);
+  std::vector<ColoredFragment> frags;
+  const int n = nF(rng);
+  for (int i = 0; i < n; ++i) {
+    const Color c = second(rng) ? Color::Second : Color::Core;
+    // Skewed trials keep ~7/8 of the fragments in the left fifth.
+    const bool left = skew && (i % 8 != 0);
+    const int x0 = left ? dxSkew(rng) : dxAll(rng);
+    if (horiz(rng)) {
+      const int x1 = std::min(maxX, x0 + 1 + len(rng));
+      frags.push_back(
+          {hw(NetId(i + 1), Track(x0), Track(x1), Track(dy(rng))), c});
+    } else {
+      const int y0 = dy(rng);
+      frags.push_back({vw(NetId(i + 1), Track(x0), Track(y0),
+                          Track(y0 + 1 + len(rng) / 3)),
+                       c});
+    }
+  }
+  return frags;
+}
+
+/// Everything one decomposition run must reproduce byte-for-byte.
+struct RunDigest {
+  std::array<std::uint64_t, 6> planes;
+  OverlayReport report;
+  std::vector<Rect> cutRects;
+  std::vector<Rect> conflictBoxes;
+  std::vector<CounterSample> counters;
+};
+
+RunDigest runOnce(const std::vector<ColoredFragment>& frags, int threads,
+                  int tileWords, BandSchedule schedule, TraceLevel lvl,
+                  const CostHints* hints) {
+  RunContext ctx;
+  ctx.setThreadCount(threads);
+  ctx.setTraceLevel(lvl);
+  DecomposeOptions opts;
+  opts.tileWords = tileWords;
+  opts.schedule = schedule;
+  opts.costHints = hints;
+  opts.ctx = &ctx;
+  const LayerDecomposition d = decomposeLayer(frags, kRules, opts);
+  RunDigest out;
+  out.planes = {fingerprint(d.target),  fingerprint(d.coreMask),
+                fingerprint(d.spacer),  fingerprint(d.cut),
+                fingerprint(d.assists), fingerprint(d.bridges)};
+  out.report = d.report;
+  out.cutRects = rasterToNmRects(d.cut, d.windowNm);
+  out.conflictBoxes = d.conflictBoxesNm;
+  out.counters = ctx.metrics().counterSnapshot();
+  return out;
+}
+
+void expectSameDigest(const RunDigest& got, const RunDigest& ref,
+                      const std::string& what) {
+  EXPECT_EQ(got.planes, ref.planes) << what;
+  EXPECT_TRUE(got.report == ref.report) << what;
+  EXPECT_EQ(got.cutRects, ref.cutRects) << what;
+  EXPECT_EQ(got.conflictBoxes, ref.conflictBoxes) << what;
+  ASSERT_EQ(got.counters.size(), ref.counters.size()) << what;
+  for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+    EXPECT_EQ(got.counters[i].first, ref.counters[i].first) << what;
+    EXPECT_EQ(got.counters[i].second, ref.counters[i].second)
+        << what << " counter " << ref.counters[i].first;
+  }
+}
+
+TEST(ScheduleFuzz, SerialStaticDynamicByteIdentical) {
+  // Open the process-wide worker pool: on a 1-CPU host the default
+  // context's budget would otherwise force every loop inline and the
+  // multi-threaded runs would never exercise the stealing path.
+  setParallelThreads(8);
+  for (std::uint32_t seed = 1; seed <= 100; ++seed) {
+    std::mt19937 rng(seed * 7919u + 17u);
+    const std::vector<ColoredFragment> frags = randomFragments(seed);
+    const int threads = 2 + int(rng() % 6);
+    const int kTileChoices[] = {1, 2, 3, 5, 8, 0};
+    const int tileWords = kTileChoices[rng() % 6];
+    const TraceLevel lvl =
+        std::array{TraceLevel::Off, TraceLevel::Aggregate,
+                   TraceLevel::Full}[rng() % 3];
+    // Random cost model for the dynamic run, including degenerate
+    // all-equal and population-only weightings: a mispredicted weight may
+    // cost balance, never a single output bit.
+    std::uniform_real_distribution<double> wWord(0.0, 4.0), wPx(0.0, 1.0);
+    const CostHints hints{wWord(rng), wPx(rng)};
+    const std::string what =
+        "seed=" + std::to_string(seed) +
+        " threads=" + std::to_string(threads) +
+        " tileWords=" + std::to_string(tileWords);
+
+    const RunDigest serial = runOnce(frags, 1, tileWords,
+                                     BandSchedule::Static, lvl, nullptr);
+    expectSameDigest(runOnce(frags, threads, tileWords, BandSchedule::Static,
+                             lvl, nullptr),
+                     serial, what + " static");
+    expectSameDigest(runOnce(frags, threads, tileWords, BandSchedule::Dynamic,
+                             lvl, &hints),
+                     serial, what + " dynamic");
+    // The whole-window reference path shares the planes/report, not the
+    // tiling counters.
+    const RunDigest untiled = runOnce(frags, 1, -1, BandSchedule::Static,
+                                      TraceLevel::Off, nullptr);
+    EXPECT_EQ(untiled.planes, serial.planes) << what << " untiled";
+    EXPECT_TRUE(untiled.report == serial.report) << what << " untiled";
+    EXPECT_EQ(untiled.cutRects, serial.cutRects) << what << " untiled";
+  }
+  setParallelThreads(0);
+}
+
+TEST(ScheduleFuzz, FittedCostHintsRefineScheduleWithoutChangingOutput) {
+  // The trace -> cost-model loop: run once traced at Full, fit hints from
+  // the per-band spans, install them on a fresh context, and re-run. The
+  // refined schedule must reproduce the unhinted output exactly.
+  setParallelThreads(4);
+  const std::vector<ColoredFragment> frags = randomFragments(11);
+  RunContext traced;
+  traced.setThreadCount(4);
+  traced.setTraceLevel(TraceLevel::Full);
+  DecomposeOptions opts;
+  opts.tileWords = 1;
+  opts.ctx = &traced;
+  const LayerDecomposition ref = decomposeLayer(frags, kRules, opts);
+  const CostHints fitted = fitCostHints(traced);
+  // A traced tiled run always yields a fit (>= 2 band spans); wall clocks
+  // are positive, so at least one model term is.
+  EXPECT_FALSE(fitted.empty());
+
+  RunContext hinted;
+  hinted.setThreadCount(4);
+  hinted.setCostHints(fitted);
+  EXPECT_FALSE(hinted.costHints().empty());
+  DecomposeOptions opts2;
+  opts2.tileWords = 1;
+  opts2.ctx = &hinted;
+  const LayerDecomposition got = decomposeLayer(frags, kRules, opts2);
+  EXPECT_EQ(fingerprint(got.target), fingerprint(ref.target));
+  EXPECT_EQ(fingerprint(got.coreMask), fingerprint(ref.coreMask));
+  EXPECT_EQ(fingerprint(got.spacer), fingerprint(ref.spacer));
+  EXPECT_EQ(fingerprint(got.cut), fingerprint(ref.cut));
+  EXPECT_TRUE(got.report == ref.report);
+  setParallelThreads(0);
+}
+
+TEST(ScheduleFuzz, FitWithoutTracedRunIsEmpty) {
+  RunContext ctx;  // nothing ran under it
+  EXPECT_TRUE(fitCostHints(ctx).empty());
+}
+
+}  // namespace
+}  // namespace sadp

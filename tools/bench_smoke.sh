@@ -51,5 +51,30 @@ for f in "$scratch"/serial*.masks; do
 done
 echo "bench_smoke: batch --jobs 2 mask planes byte-identical to serial"
 
+# Scheduler gate: the dynamic work-stealing band schedule must emit mask
+# planes byte-identical to the static schedule and to the serial run --
+# if WHO computes a band ever changes WHAT it computes, perf numbers from
+# this build are meaningless.
+sched_job="--seed-demo 32 --width 120 --height 100 --tile-words 2"
+# shellcheck disable=SC2086
+"$cli" $sched_job --threads 1 --schedule static --masks "$scratch/sched1_" \
+  >/dev/null || [ $? -eq 3 ]
+# shellcheck disable=SC2086
+"$cli" $sched_job --threads 4 --schedule static --masks "$scratch/schedS_" \
+  >/dev/null || [ $? -eq 3 ]
+# shellcheck disable=SC2086
+"$cli" $sched_job --threads 4 --schedule dynamic --masks "$scratch/schedD_" \
+  >/dev/null || [ $? -eq 3 ]
+for f in "$scratch"/sched1*.masks; do
+  for mode in S D; do
+    twin=$(printf '%s' "$f" | sed "s/sched1_/sched${mode}_/")
+    cmp -s "$f" "$twin" || {
+      echo "bench_smoke: --schedule output $twin differs from serial $f" >&2
+      exit 1
+    }
+  done
+done
+echo "bench_smoke: --schedule dynamic mask planes byte-identical to static/serial"
+
 "$bench" --json "$repo_root/BENCH_kernels.json"
 echo "bench_smoke: updated $repo_root/BENCH_kernels.json"

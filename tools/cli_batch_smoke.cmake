@@ -56,3 +56,17 @@ foreach(f ${serial_files})
   endif()
 endforeach()
 message(STATUS "cli batch smoke OK (${nfiles} artifacts byte-identical)")
+
+# Malformed --jobs values must be rejected up front with the usage text --
+# zero, negative, and the atoi-style silent truncation ("2x" read as 2).
+foreach(bad "0" "-2" "2x")
+  execute_process(COMMAND "${CLI}" --batch "${OUT_DIR}/jobs.list" --jobs "${bad}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "--jobs ${bad} exited ${rc}, want usage error 2\n${err}")
+  endif()
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "--jobs ${bad} stderr lacks usage text:\n${err}")
+  endif()
+endforeach()
+message(STATUS "cli batch smoke OK (bad --jobs values rejected)")

@@ -22,6 +22,10 @@
 //                       decomposition morphology; 0 = automatic (default),
 //                       negative = whole-window reference path. Any value
 //                       yields byte-identical reports and masks.
+//   --schedule MODE     band-to-worker assignment of the tiled passes:
+//                       "dynamic" (default) = cost-weighted work stealing,
+//                       "static" = shared-cursor assignment. Either mode
+//                       yields byte-identical reports, masks, and counters.
 //   --trace FILE        write a Chrome trace-event JSON (full span events)
 //   --metrics FILE      write a flat run-metrics JSON (counters, histograms,
 //                       per-phase wall times)
@@ -37,6 +41,7 @@
 //                       in job order; the exit code is the worst job's.
 //   --jobs N            concurrent batch jobs (default 1)
 #include <atomic>
+#include <climits>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -80,9 +85,28 @@ struct CliArgs {
                "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
-               "       [--tile-words N] [--trace FILE] [--metrics FILE]\n"
+               "       [--tile-words N] [--schedule static|dynamic]\n"
+               "       [--trace FILE] [--metrics FILE]\n"
                "   or: sadp_route_cli --batch LIST-FILE [--jobs N]\n";
   std::exit(2);
+}
+
+/// Strict integer option parse: the whole token must be a base-10 integer
+/// that fits an int. atoi's silent truncation ("--jobs 2x" -> 2,
+/// "--width 1e9" -> 1) is exactly how a typo'd batch line would corrupt a
+/// run, so any trailing garbage is a usage error instead.
+int parseIntOpt(const char* opt, const std::string& s) {
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(s, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  if (s.empty() || pos != s.size() || v < INT_MIN || v > INT_MAX) {
+    usage((std::string(opt) + " wants an integer, got '" + s + "'").c_str());
+  }
+  return int(v);
 }
 
 /// Parses one job's options. `batchFile`/`jobs` are only accepted at the
@@ -101,11 +125,11 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
     if (opt == "--nets") {
       a.netsFile = value(i);
     } else if (opt == "--width") {
-      a.width = Track(std::atoi(value(i).c_str()));
+      a.width = Track(parseIntOpt("--width", value(i)));
     } else if (opt == "--height") {
-      a.height = Track(std::atoi(value(i).c_str()));
+      a.height = Track(parseIntOpt("--height", value(i)));
     } else if (opt == "--layers") {
-      a.layers = std::atoi(value(i).c_str());
+      a.layers = parseIntOpt("--layers", value(i));
     } else if (opt == "--svg") {
       a.svgPrefix = value(i);
     } else if (opt == "--masks") {
@@ -120,12 +144,21 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
     } else if (opt == "--no-repair") {
       a.router.enableRepair = false;
     } else if (opt == "--seed-demo") {
-      a.seedDemo = std::atoi(value(i).c_str());
+      a.seedDemo = parseIntOpt("--seed-demo", value(i));
     } else if (opt == "--threads") {
-      a.threads = std::atoi(value(i).c_str());
+      a.threads = parseIntOpt("--threads", value(i));
       if (a.threads <= 0) usage("--threads wants a positive count");
     } else if (opt == "--tile-words") {
-      a.decompose.tileWords = std::atoi(value(i).c_str());
+      a.decompose.tileWords = parseIntOpt("--tile-words", value(i));
+    } else if (opt == "--schedule") {
+      const std::string& mode = value(i);
+      if (mode == "static") {
+        a.decompose.schedule = BandSchedule::Static;
+      } else if (mode == "dynamic") {
+        a.decompose.schedule = BandSchedule::Dynamic;
+      } else {
+        usage("--schedule wants 'static' or 'dynamic'");
+      }
     } else if (opt == "--trace") {
       a.traceFile = value(i);
     } else if (opt == "--metrics") {
@@ -135,7 +168,7 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
       *batchFile = value(i);
     } else if (opt == "--jobs") {
       if (jobs == nullptr) usage("--jobs not allowed inside a batch");
-      *jobs = std::atoi(value(i).c_str());
+      *jobs = parseIntOpt("--jobs", value(i));
       if (*jobs <= 0) usage("--jobs wants a positive count");
     } else if (opt == "--help" || opt == "-h") {
       usage();
