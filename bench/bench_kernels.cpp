@@ -7,12 +7,15 @@
 // `--json <path>` (or `--json=<path>`) additionally writes the per-kernel
 // ns/op results as machine-readable JSON (the BENCH_kernels.json schema),
 // so perf regressions are diffable across PRs; see tools/bench_smoke.sh.
+// `--filter <regex>` (or `--filter=<regex>`) is shorthand for google-
+// benchmark's --benchmark_filter= and restricts which kernels run.
 // `--trace <path>` / `--metrics <path>` enable the run-trace subsystem for
 // the benchmark process and dump its Chrome trace / metrics report — note
 // that enabling either perturbs the timed kernels themselves.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <random>
 #include <string>
@@ -23,9 +26,11 @@
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
 #include "route/router.hpp"
+#include "sadp/bitmap.hpp"
 #include "sadp/decompose.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/arena.hpp"
 #include "util/parallel_for.hpp"
 
 namespace sadp {
@@ -52,32 +57,81 @@ void BM_ParityDsuUnite(benchmark::State& state) {
   const std::size_t n = std::size_t(state.range(0));
   std::mt19937 rng(2);
   std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  // Operand pairs are pre-drawn (same sequence the distribution used to
+  // produce inline) so the loop times the DSU, not the Mersenne twister.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ops(n);
+  for (auto& p : ops) {
+    p.first = std::uint32_t(d(rng));
+    p.second = std::uint32_t(d(rng));
+  }
   for (auto _ : state) {
     state.PauseTiming();
     ParityDsu dsu;
     dsu.ensure(n - 1);
     state.ResumeTiming();
     for (std::size_t i = 0; i < n; ++i) {
-      benchmark::DoNotOptimize(dsu.unite(d(rng), d(rng), std::uint8_t(i & 1)));
+      benchmark::DoNotOptimize(
+          dsu.unite(ops[i].first, ops[i].second, std::uint8_t(i & 1)));
     }
   }
   state.SetItemsProcessed(state.iterations() * std::int64_t(n));
 }
 BENCHMARK(BM_ParityDsuUnite)->Arg(1024)->Arg(16384);
 
-void BM_AStarRoute(benchmark::State& state) {
+void astarRouteBench(benchmark::State& state, OpenList mode) {
   const Track size = Track(state.range(0));
   RoutingGrid grid(size, size, 3, DesignRules{});
   AStarEngine engine(grid);
+  AStarParams params;
+  params.openList = mode;
+  // Fixed pool of endpoint pairs cycled per iteration: the per-op mean
+  // must not depend on how many iterations the harness settles on, or
+  // run-to-run numbers drift with the sampled route mix instead of the
+  // code under test.
   std::mt19937 rng(3);
   std::uniform_int_distribution<Track> d(0, size - 1);
+  constexpr std::size_t kPool = 64;
+  std::vector<std::pair<GridNode, GridNode>> pool(kPool);
+  for (auto& [s, t] : pool) {
+    s = GridNode{d(rng), d(rng), 0};
+    t = GridNode{d(rng), d(rng), 0};
+  }
+  std::size_t i = 0;
   for (auto _ : state) {
-    const GridNode s{d(rng), d(rng), 0};
-    const GridNode t{d(rng), d(rng), 0};
-    benchmark::DoNotOptimize(engine.route(1, {&s, 1}, {&t, 1}, AStarParams{}));
+    const auto& [s, t] = pool[i];
+    i = (i + 1) % kPool;
+    benchmark::DoNotOptimize(engine.route(1, {&s, 1}, {&t, 1}, params));
   }
 }
+
+void BM_AStarRoute(benchmark::State& state) {
+  astarRouteBench(state, OpenList::Auto);
+}
 BENCHMARK(BM_AStarRoute)->Arg(64)->Arg(256);
+
+void BM_AStarRouteBucket(benchmark::State& state) {
+  astarRouteBench(state, OpenList::Bucket);
+}
+BENCHMARK(BM_AStarRouteBucket)->Arg(64)->Arg(256);
+
+void BM_AStarRouteHeap(benchmark::State& state) {
+  astarRouteBench(state, OpenList::Heap);
+}
+BENCHMARK(BM_AStarRouteHeap)->Arg(64)->Arg(256);
+
+/// Bump-allocation throughput with per-iteration scope rewind: the warm
+/// steady state every route()/colorFlip() call runs in.
+void BM_ArenaAlloc(benchmark::State& state) {
+  Arena arena;
+  for (auto _ : state) {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(arena.allocate(64, 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ArenaAlloc);
 
 void BM_ColorFlipChain(benchmark::State& state) {
   const int n = int(state.range(0));
@@ -122,6 +176,20 @@ void BM_BitmapDilate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_BitmapDilate)->Arg(256)->Arg(1024);
+
+/// Same dilate with the AVX2 kernel table pinned (resolves to scalar on
+/// CPUs without AVX2, so the entry is always present and comparable).
+void BM_BitmapDilateAVX2(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const Bitmap b = wireRaster(n, n, 7);
+  setBitmapSimdLevel(SimdLevel::Avx2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.dilated(2));
+  }
+  setBitmapSimdLevel(SimdLevel::Auto);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitmapDilateAVX2)->Arg(256)->Arg(1024);
 
 void BM_BitmapOpenAnchored(benchmark::State& state) {
   const int n = int(state.range(0));
@@ -313,6 +381,7 @@ class JsonCollector : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   // Strip our flags before google-benchmark parses the rest.
   std::string jsonPath, tracePath, metricsPath;
+  std::deque<std::string> rewritten;  // stable storage for rewritten flags
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -320,6 +389,12 @@ int main(int argc, char** argv) {
       jsonPath = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       jsonPath = a.substr(7);
+    } else if (a == "--filter" && i + 1 < argc) {
+      rewritten.push_back(std::string("--benchmark_filter=") + argv[++i]);
+      args.push_back(rewritten.back().data());
+    } else if (a.rfind("--filter=", 0) == 0) {
+      rewritten.push_back("--benchmark_filter=" + a.substr(9));
+      args.push_back(rewritten.back().data());
     } else if (a == "--trace" && i + 1 < argc) {
       tracePath = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
-#include <numeric>
+#include <memory_resource>
 
 #include "ocg/overlay_model.hpp"
+#include "run/run_context.hpp"
+#include "util/arena.hpp"
 
 namespace sadp {
 
@@ -107,11 +109,18 @@ ReducedGraph reduceGraph(const OverlayConstraintGraph& g) {
 
 namespace {
 
-/// Plain union-find for component extraction / Kruskal.
+/// Plain union-find for component extraction / Kruskal: union by size with
+/// path halving, storage bump-allocated from the run's scratch arena (the
+/// caller's ArenaScope reclaims it).
 class Dsu {
  public:
-  explicit Dsu(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t(0));
+  Dsu(Arena& a, std::size_t n)
+      : parent_(a.allocArray<std::uint32_t>(n)),
+        size_(a.allocArray<std::uint32_t>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i] = std::uint32_t(i);
+      size_[i] = 1;
+    }
   }
   std::size_t find(std::size_t v) {
     while (parent_[v] != v) {
@@ -124,12 +133,15 @@ class Dsu {
     a = find(a);
     b = find(b);
     if (a == b) return false;
-    parent_[a] = b;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = std::uint32_t(a);
+    size_[a] += size_[b];
     return true;
   }
 
  private:
-  std::vector<std::size_t> parent_;
+  std::uint32_t* parent_;
+  std::uint32_t* size_;
 };
 
 std::int64_t edgeCostUnder(const ReducedEdge& e, Color cu, Color cv) {
@@ -153,8 +165,13 @@ std::vector<Color> treeDpAssign(const ReducedGraph& rg,
                                 const std::vector<std::size_t>& treeEdges,
                                 std::size_t rootClass) {
   std::vector<Color> out(rg.classCount(), Color::Unassigned);
+  // Every DP table below is scratch bump-allocated from the run's arena;
+  // the scope rewind reclaims it wholesale (DESIGN.md §5.9).
+  Arena& arena = RunContext::current().scratchArena();
+  ArenaScope scope(arena);
   // Adjacency over tree edges.
-  std::unordered_map<std::uint32_t, std::vector<std::size_t>> adj;
+  std::pmr::unordered_map<std::uint32_t, std::pmr::vector<std::size_t>> adj(
+      &arena);
   for (std::size_t ei : treeEdges) {
     adj[rg.edges[ei].u].push_back(ei);
     adj[rg.edges[ei].v].push_back(ei);
@@ -165,9 +182,10 @@ std::vector<Color> treeDpAssign(const ReducedGraph& rg,
     std::uint32_t parent;
     std::size_t parentEdge;
   };
-  std::vector<Visit> order;
-  std::vector<Visit> stack{{std::uint32_t(rootClass), std::uint32_t(-1), 0}};
-  std::vector<char> seen(rg.classCount(), 0);
+  std::pmr::vector<Visit> order(&arena);
+  std::pmr::vector<Visit> stack(&arena);
+  stack.push_back({std::uint32_t(rootClass), std::uint32_t(-1), 0});
+  std::pmr::vector<char> seen(rg.classCount(), 0, &arena);
   while (!stack.empty()) {
     Visit v = stack.back();
     stack.pop_back();
@@ -182,12 +200,12 @@ std::vector<Color> treeDpAssign(const ReducedGraph& rg,
   }
   // Bottom-up DP, eq. (4): cost[node][c] = selfCost[node][c] + sum over
   // children of min_p (cost[child][p] + edgeCost(c, p)).
-  std::vector<std::array<std::int64_t, 2>> cost = rg.selfCost;
+  std::pmr::vector<std::array<std::int64_t, 2>> cost(
+      rg.selfCost.begin(), rg.selfCost.end(), &arena);
   cost.resize(rg.classCount(), {0, 0});
-  std::vector<std::array<Color, 2>> childChoice;  // filled per child below
   // childBest[childNode][parentColor] = chosen child color
-  std::vector<std::array<Color, 2>> childBest(
-      rg.classCount(), {Color::Unassigned, Color::Unassigned});
+  std::pmr::vector<std::array<Color, 2>> childBest(
+      rg.classCount(), {Color::Unassigned, Color::Unassigned}, &arena);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Visit& v = *it;
     if (v.parent == std::uint32_t(-1)) continue;
@@ -209,7 +227,6 @@ std::vector<Color> treeDpAssign(const ReducedGraph& rg,
       childBest[v.node][pc] = bestColor;
     }
   }
-  (void)childChoice;
   // Backtrace from the root.
   const int rootColor = cost[rootClass][0] <= cost[rootClass][1] ? 0 : 1;
   out[rootClass] = Color(rootColor);
@@ -227,8 +244,11 @@ FlipStats colorFlip(OverlayConstraintGraph& g) {
   ReducedGraph rg = reduceGraph(g);
   if (rg.classCount() == 0) return stats;
 
+  Arena& arena = RunContext::current().scratchArena();
+  ArenaScope scope(arena);
+
   // Components over all reduced edges.
-  Dsu comp(rg.classCount());
+  Dsu comp(arena, rg.classCount());
   for (const ReducedEdge& e : rg.edges) comp.unite(e.u, e.v);
   std::unordered_map<std::size_t, std::vector<std::size_t>> edgesOfComp;
   for (std::size_t ei = 0; ei < rg.edges.size(); ++ei) {
@@ -265,12 +285,15 @@ FlipStats colorFlip(OverlayConstraintGraph& g) {
     }
     stats.costBefore += before;
 
-    // Maximum spanning tree (Kruskal on descending weight).
+    // Maximum spanning tree (Kruskal on descending weight). Per-component
+    // scratch opens a nested scope so the arena does not grow with the
+    // component count.
+    ArenaScope mstScope(arena);
     std::vector<std::size_t> sorted = compEdges;
     std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
       return rg.edges[a].weight > rg.edges[b].weight;
     });
-    Dsu mst(rg.classCount());
+    Dsu mst(arena, rg.classCount());
     std::vector<std::size_t> treeEdges;
     for (std::size_t ei : sorted) {
       if (mst.unite(rg.edges[ei].u, rg.edges[ei].v)) treeEdges.push_back(ei);

@@ -6,48 +6,75 @@
 
 namespace sadp {
 
-void ParityDsu::ensure(std::size_t v) {
-  while (parent_.size() <= v) {
-    parent_.push_back(parent_.size());
-    parity_.push_back(0);
-    rank_.push_back(0);
+void ParityDsu::grow(std::size_t v) {
+  const std::size_t old = link_.size();
+  link_.resize(v + 1);
+  rank_.resize(v + 1, 0);
+  for (std::size_t i = old; i <= v; ++i) {
+    link_[i] = std::uint32_t(i) << 1;  // self-parent, parity 0
   }
 }
 
 std::pair<std::size_t, std::uint8_t> ParityDsu::find(std::size_t v) {
   ensure(v);
-  // Iterative find with full path compression, accumulating parity.
-  std::size_t root = v;
-  std::uint8_t par = 0;
-  while (parent_[root] != root) {
-    par ^= parity_[root];
-    root = parent_[root];
+  return findRaw(v);
+}
+
+std::pair<std::size_t, std::uint8_t> ParityDsu::findRaw(std::size_t v) {
+  // Single-pass path halving over a raw pointer, folding the parity of
+  // the skipped hop into the rewritten link. Parity accumulated along the
+  // walk is unaffected by the rewrites (they only touch nodes already
+  // passed), so the returned (root, parity) pair matches the
+  // full-compression reference exactly.
+  std::uint32_t* const links = link_.data();
+  std::uint32_t x = std::uint32_t(v);
+  std::uint32_t par = 0;
+  for (;;) {
+    const std::uint32_t l = links[x];
+    const std::uint32_t p = l >> 1;
+    if (p == x) break;
+    const std::uint32_t lp = links[p];
+    links[x] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);  // grandparent short-cut
+    par ^= l & 1u;
+    x = p;
   }
-  // Second pass: compress.
-  std::size_t cur = v;
-  std::uint8_t curPar = 0;
-  while (parent_[cur] != cur) {
-    const std::size_t next = parent_[cur];
-    const std::uint8_t nextPar = std::uint8_t(curPar ^ parity_[cur]);
-    parent_[cur] = root;
-    parity_[cur] = std::uint8_t(par ^ curPar);
-    curPar = nextPar;
-    cur = next;
-  }
-  return {root, par};
+  return {x, std::uint8_t(par)};
 }
 
 bool ParityDsu::unite(std::size_t u, std::size_t v, std::uint8_t rel) {
-  auto [ru, pu] = find(u);
-  auto [rv, pv] = find(v);
+  ensure(u > v ? u : v);  // one bounds check instead of one per find
+  // The two root chases are findRaw's loop written out inline: unite is
+  // the hot path of hard-edge insertion and this build ships without
+  // optimization, where a call plus a pair return per find is measurable.
+  std::uint32_t* const links = link_.data();
+  std::uint32_t ru = std::uint32_t(u), pu = 0;
+  for (;;) {
+    const std::uint32_t l = links[ru];
+    const std::uint32_t p = l >> 1;
+    if (p == ru) break;
+    const std::uint32_t lp = links[p];
+    links[ru] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);
+    pu ^= l & 1u;
+    ru = p;
+  }
+  std::uint32_t rv = std::uint32_t(v), pv = 0;
+  for (;;) {
+    const std::uint32_t l = links[rv];
+    const std::uint32_t p = l >> 1;
+    if (p == rv) break;
+    const std::uint32_t lp = links[p];
+    links[rv] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);
+    pv ^= l & 1u;
+    rv = p;
+  }
   if (ru == rv) return std::uint8_t(pu ^ pv) == rel;
-  if (rank_[ru] < rank_[rv]) {
+  std::uint8_t* const ranks = rank_.data();
+  if (ranks[ru] < ranks[rv]) {
     std::swap(ru, rv);
     std::swap(pu, pv);
   }
-  parent_[rv] = ru;
-  parity_[rv] = std::uint8_t(pu ^ pv ^ rel);
-  if (rank_[ru] == rank_[rv]) ++rank_[ru];
+  links[rv] = (ru << 1) | ((pu ^ pv ^ rel) & 1u);
+  if (ranks[ru] == ranks[rv]) ++ranks[ru];
   return true;
 }
 
@@ -58,8 +85,7 @@ bool ParityDsu::contradicts(std::size_t u, std::size_t v, std::uint8_t rel) {
 }
 
 void ParityDsu::clear() {
-  parent_.clear();
-  parity_.clear();
+  link_.clear();
   rank_.clear();
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -25,7 +26,9 @@ namespace sadp {
 class ParityDsu {
  public:
   /// Ensures element `v` exists.
-  void ensure(std::size_t v);
+  void ensure(std::size_t v) {
+    if (v >= link_.size()) grow(v);
+  }
   /// Representative of v plus the parity of v relative to it.
   std::pair<std::size_t, std::uint8_t> find(std::size_t v);
   /// Merges the classes of u and v with relative parity `rel`.
@@ -35,12 +38,20 @@ class ParityDsu {
   /// True if u and v are already constrained to relative parity != `rel`.
   bool contradicts(std::size_t u, std::size_t v, std::uint8_t rel);
   void clear();
-  std::size_t size() const { return parent_.size(); }
+  std::size_t size() const { return link_.size(); }
 
  private:
-  std::vector<std::size_t> parent_;
-  std::vector<std::uint8_t> parity_;  // parity to parent
-  std::vector<std::uint32_t> rank_;
+  void grow(std::size_t v);
+  /// find() without the existence check -- callers must have ensure()d v.
+  std::pair<std::size_t, std::uint8_t> findRaw(std::size_t v);
+
+  /// Packed parent pointers: link_[v] = parent(v) << 1 | parity-to-parent.
+  /// One 32-bit word per element keeps find's pointer chase in a single
+  /// cache stream; roots and parities are identical to the unpacked layout
+  /// (union by rank with the same tie rule), so class representatives --
+  /// and everything keyed on them -- are unchanged.
+  std::vector<std::uint32_t> link_;
+  std::vector<std::uint8_t> rank_;
 };
 
 /// One scenario edge of the constraint graph. `u`/`v` are vertex handles
@@ -63,6 +74,14 @@ class OverlayConstraintGraph {
   /// overlay trade-off without making the class unsatisfiable (the bitmap
   /// cut-conflict checker provides the hard backstop; see DESIGN.md §5.6).
   static constexpr int kCutRiskPenalty = 50;
+
+  /// Edge and adjacency storage draws from `mem` (DESIGN.md §5.9): the
+  /// router passes its RunContext's graph arena so the per-net scenario
+  /// churn never touches the global allocator; standalone graphs default
+  /// to the ordinary heap.
+  explicit OverlayConstraintGraph(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : edges_(mem), adj_(mem) {}
 
   /// Returns (creating if needed) the vertex handle for a net.
   std::uint32_t vertexFor(NetId net);
@@ -132,7 +151,7 @@ class OverlayConstraintGraph {
 
   // -- Introspection for the color-flipping engine --------------------------
 
-  const std::vector<OcgEdge>& edges() const { return edges_; }
+  const std::pmr::vector<OcgEdge>& edges() const { return edges_; }
   /// Calls fn(edgeIndex) for every alive edge incident to a vertex.
   void forEachEdgeOf(std::uint32_t vertex,
                      const std::function<void(std::size_t)>& fn) const;
@@ -151,8 +170,10 @@ class OverlayConstraintGraph {
 
   std::vector<NetId> nets_;                       // vertex -> net
   std::unordered_map<NetId, std::uint32_t> idx_;  // net -> vertex
-  std::vector<OcgEdge> edges_;
-  std::vector<std::vector<std::uint32_t>> adj_;  // vertex -> edge indices
+  std::pmr::vector<OcgEdge> edges_;
+  /// vertex -> edge indices; inner vectors inherit the outer resource
+  /// through polymorphic_allocator's scoped-allocator propagation.
+  std::pmr::vector<std::pmr::vector<std::uint32_t>> adj_;
   mutable ParityDsu hard_;
   /// Color per hard-class representative; vertex color = this ^ parity.
   std::unordered_map<std::uint32_t, Color> classColor_;

@@ -13,9 +13,12 @@ constexpr Track kNeighborTracks = 3;
 }  // namespace
 
 OverlayModel::OverlayModel(int layers, Track /*width*/, Track /*height*/,
-                           bool mergeTechnique)
+                           bool mergeTechnique,
+                           std::pmr::memory_resource* mem)
     : mergeTechnique_(mergeTechnique) {
-  graphs_.resize(layers);
+  if (!mem) mem = std::pmr::get_default_resource();
+  graphs_.reserve(layers);
+  for (int i = 0; i < layers; ++i) graphs_.emplace_back(mem);
   hits_.resize(layers);
   states_.reserve(layers);
   for (int i = 0; i < layers; ++i) {

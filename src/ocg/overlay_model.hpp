@@ -5,6 +5,7 @@
 // OverlayConstraintGraph per routing layer (Fig. 17).
 #pragma once
 
+#include <memory_resource>
 #include <span>
 #include <vector>
 
@@ -37,9 +38,12 @@ class OverlayModel {
   /// `mergeTechnique=false` reconstructs routers without the cut-process
   /// merge (e.g. [16]): hard SAME-color scenarios, which are satisfied by
   /// merging patterns and separating them with a cut, are then reported as
-  /// hard violations instead.
+  /// hard violations instead. `mem`, when non-null, backs the per-layer
+  /// constraint graphs' edge/adjacency storage (the router passes its
+  /// RunContext's graph arena); null means the ordinary heap.
   OverlayModel(int layers, Track width, Track height,
-               bool mergeTechnique = true);
+               bool mergeTechnique = true,
+               std::pmr::memory_resource* mem = nullptr);
 
   int layers() const { return int(graphs_.size()); }
 

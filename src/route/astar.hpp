@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "grid/routing_grid.hpp"
+#include "util/arena.hpp"
 
 namespace sadp {
 
@@ -22,13 +23,40 @@ class Counter;
 class Histogram;
 class RunContext;
 
+/// Open-list implementation selector (DESIGN.md §5.9). The search cost
+/// model is the same exact fixed-point integer model for Bucket and Heap,
+/// and their pop order is identical by construction (LIFO within equal f
+/// == ordering by (f, push sequence descending)), so the two produce
+/// byte-identical paths, costs, expansions and counters -- enforced by
+/// tests/test_astar_equiv.cpp. Auto picks Bucket whenever the Dial
+/// monotonicity preconditions hold (nonnegative quantized step costs,
+/// consistent heuristic, representable bucket span) and Heap otherwise.
+/// LegacyFloat is the pre-fixed-point double-cost engine, kept as the
+/// fallback for parameter sets with no exact fixed-point representation.
+enum class OpenList : std::uint8_t { Auto, Bucket, Heap, LegacyFloat };
+
 struct AStarParams {
   double alpha = 1.0;        ///< wirelength weight
   double beta = 1.0;         ///< via weight
   double gamma = 1.5;        ///< type 2-b scenario weight
   double wrongWay = 1.5;     ///< multiplier on alpha against preferred dir
   std::int64_t maxExpansions = 4'000'000;  ///< search effort cap
+  OpenList openList = OpenList::Auto;      ///< open-list selector
 };
+
+/// Exact power-of-two fixed-point scale for an AStarParams cost model:
+/// the smallest 2^shift under which alpha, beta and alpha*wrongWay are all
+/// integers with zero precision loss (checked by exact double round-trip).
+/// `ok == false` means no such scale exists (e.g. alpha = 1/3) and the
+/// engine falls back to the legacy double-cost path.
+struct FixedCostScale {
+  bool ok = false;
+  int shift = 0;  ///< scale = 1 << shift
+  std::int64_t alphaQ = 0;  ///< alpha * scale
+  std::int64_t betaQ = 0;   ///< beta * scale
+  std::int64_t wrongQ = 0;  ///< alpha * wrongWay * scale
+};
+FixedCostScale deriveFixedCostScale(const AStarParams& p);
 
 /// Sparse additive penalty field over grid nodes (rip-up cost increase and
 /// the T2b risk field). Values accumulate; negative deltas allowed.
@@ -38,14 +66,33 @@ class PenaltyField {
       : grid_(&grid), values_(grid.nodeCount(), 0.0f) {}
 
   void add(const GridNode& n, float delta) {
-    if (grid_->inBounds(n)) values_[grid_->index(n)] += delta;
+    if (!grid_->inBounds(n)) return;
+    float& v = values_[grid_->index(n)];
+    const bool wasNeg = v < 0.0f;
+    v += delta;
+    negCount_ += static_cast<int>(v < 0.0f) - static_cast<int>(wasNeg);
+    if (v > maxSeen_) maxSeen_ = v;
   }
   float at(const GridNode& n) const { return values_[grid_->index(n)]; }
-  void clear() { std::fill(values_.begin(), values_.end(), 0.0f); }
+  void clear() {
+    std::fill(values_.begin(), values_.end(), 0.0f);
+    negCount_ = 0;
+    maxSeen_ = 0.0f;
+  }
+
+  /// True while any cell is currently negative (exact count, maintained
+  /// O(1) per add). Bucket-mode A* requires nonnegative step costs, so a
+  /// field with negatives forces the integer-heap open list.
+  bool hasNegative() const { return negCount_ > 0; }
+  /// Monotone upper bound on any value the field has ever held (never
+  /// decays on negative deltas) -- used to size the bucket span.
+  float maxSeen() const { return maxSeen_; }
 
  private:
   const RoutingGrid* grid_;
   std::vector<float> values_;
+  std::int64_t negCount_ = 0;
+  float maxSeen_ = 0.0f;
 };
 
 /// Directional T2b risk: separate penalties for entering a cell moving
@@ -87,12 +134,30 @@ class AStarEngine {
                                    const T2bField* t2b = nullptr);
 
  private:
+  struct IntSearchSetup;  // resolved cost model + mode (astar.cpp)
+
+  template <class Open>
+  std::optional<AStarResult> searchFixed(Open& open, NetId net,
+                                         std::span<const GridNode> targets,
+                                         const IntSearchSetup& su,
+                                         AStarResult& result);
+  std::optional<AStarResult> routeLegacy(NetId net,
+                                         std::span<const GridNode> sources,
+                                         std::span<const GridNode> targets,
+                                         const AStarParams& params,
+                                         const PenaltyField* extra,
+                                         const T2bField* t2b,
+                                         AStarResult& result);
+
   const RoutingGrid* grid_;
-  std::vector<float> best_;
+  Arena* scratch_;  ///< owning context's per-run scratch arena
+  std::vector<float> best_;          ///< legacy double-cost path only
+  std::vector<std::int64_t> bestQ_;  ///< fixed-point g (bucket/heap modes)
   std::vector<std::uint32_t> parent_;
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint32_t> targetStamp_;
   std::uint32_t epoch_ = 0;
+  std::int64_t pushCount_ = 0;  ///< open-list pushes of the current route()
   // Per-engine (hence per-run) metric handles; see ctor comment.
   Counter* routesCounter_;
   Counter* expansionsCounter_;

@@ -29,7 +29,7 @@ OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
       opts_(options),
       ctx_(ctx ? ctx : &RunContext::current()),
       model_(grid.layers(), grid.width(), grid.height(),
-             options.enableMergeOddCycles),
+             options.enableMergeOddCycles, &ctx_->graphArena()),
       engine_(grid, ctx_),
       ripUpField_(grid),
       t2bField_(grid),

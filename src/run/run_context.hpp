@@ -31,6 +31,7 @@
 
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/arena.hpp"
 
 namespace sadp {
 
@@ -86,6 +87,16 @@ class RunContext {
   CostHints costHints() const;
   void setCostHints(const CostHints& h);
 
+  /// Per-run bump arenas (DESIGN.md §5.9). Both are touched only by the
+  /// run's driving thread -- the router / A* / coloring path; parallelFor
+  /// workers never allocate from them. `scratchArena` is rewound by
+  /// ArenaScope at the end of every route()/colorFlip() call, so a warm
+  /// run allocates nothing from the global allocator; `graphArena` backs
+  /// allocations whose lifetime is the run itself (OCG edge/adjacency
+  /// storage) and is reclaimed when the context dies.
+  Arena& scratchArena() { return scratchArena_; }
+  Arena& graphArena() { return graphArena_; }
+
   /// The process-default context: wraps MetricsRegistry::instance() and
   /// TraceSink::defaultSink(), honors setParallelThreads(). What unbound
   /// threads and pre-context call sites resolve to.
@@ -121,6 +132,8 @@ class RunContext {
   std::atomic<int> extraInFlight_{0};
   std::atomic<double> hintNsPerWord_{0.0};
   std::atomic<double> hintNsPerSetPx_{0.0};
+  Arena scratchArena_;  ///< rewound per search/flip; see scratchArena()
+  Arena graphArena_;    ///< run-lifetime allocations; see graphArena()
 };
 
 /// Extra (non-caller) parallelFor workers currently alive across every

@@ -1,10 +1,14 @@
 #include "sadp/bitmap.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
+
+#include "sadp/bitmap_kernels.hpp"
 
 namespace sadp {
 
@@ -126,6 +130,8 @@ Bitmap& Bitmap::invert() {
   return *this;
 }
 
+namespace detail {
+
 namespace {
 
 /// out[x] = in[x + d] within one packed row, zero-filling beyond the row.
@@ -154,15 +160,17 @@ void shiftRowInto(const std::uint64_t* in, std::uint64_t* out, int wpr,
   }
 }
 
+}  // namespace
+
 /// 1-D OR/AND filter along rows: out[x] = op over d in [lo,hi] of in[x+d],
 /// with pixels beyond the row reading as unset.
-void filterRows(const std::vector<std::uint64_t>& in,
-                std::vector<std::uint64_t>& out, int h, int wpr,
-                std::uint64_t tail, int lo, int hi, bool isAnd) {
+void scalarFilterRows(const std::uint64_t* in, std::uint64_t* out, int h,
+                      int wpr, std::uint64_t tail, int lo, int hi,
+                      bool isAnd) {
   std::vector<std::uint64_t> tmp(std::size_t(wpr), 0);
   for (int y = 0; y < h; ++y) {
-    const std::uint64_t* src = in.data() + std::size_t(y) * wpr;
-    std::uint64_t* dst = out.data() + std::size_t(y) * wpr;
+    const std::uint64_t* src = in + std::size_t(y) * wpr;
+    std::uint64_t* dst = out + std::size_t(y) * wpr;
     shiftRowInto(src, dst, wpr, lo);
     for (int d = lo + 1; d <= hi; ++d) {
       shiftRowInto(src, tmp.data(), wpr, d);
@@ -177,11 +185,10 @@ void filterRows(const std::vector<std::uint64_t>& in,
 }
 
 /// 1-D OR/AND filter along columns, word-wise across each row.
-void filterCols(const std::vector<std::uint64_t>& in,
-                std::vector<std::uint64_t>& out, int h, int wpr, int lo,
-                int hi, bool isAnd) {
+void scalarFilterCols(const std::uint64_t* in, std::uint64_t* out, int h,
+                      int wpr, int lo, int hi, bool isAnd) {
   for (int y = 0; y < h; ++y) {
-    std::uint64_t* dst = out.data() + std::size_t(y) * wpr;
+    std::uint64_t* dst = out + std::size_t(y) * wpr;
     if (isAnd && (y + lo < 0 || y + hi >= h)) {
       // An out-of-raster row reads as unset: the AND window is empty.
       std::fill(dst, dst + wpr, 0);
@@ -192,10 +199,10 @@ void filterCols(const std::vector<std::uint64_t>& in,
       std::fill(dst, dst + wpr, 0);
       continue;
     }
-    std::copy(in.data() + std::size_t(k0) * wpr,
-              in.data() + std::size_t(k0) * wpr + wpr, dst);
+    std::copy(in + std::size_t(k0) * wpr, in + std::size_t(k0) * wpr + wpr,
+              dst);
     for (int k = k0 + 1; k <= k1; ++k) {
-      const std::uint64_t* src = in.data() + std::size_t(k) * wpr;
+      const std::uint64_t* src = in + std::size_t(k) * wpr;
       if (isAnd) {
         for (int j = 0; j < wpr; ++j) dst[j] &= src[j];
       } else {
@@ -205,14 +212,85 @@ void filterCols(const std::vector<std::uint64_t>& in,
   }
 }
 
+const BitmapKernels kScalarKernels{&scalarFilterRows, &scalarFilterCols,
+                                   &scalarTranspose64};
+
+namespace {
+
+bool probeAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Resolution for SimdLevel::Auto: the SADP_FORCE_SCALAR escape hatch
+/// wins, then CPUID.
+const BitmapKernels* resolveAuto() {
+  if (const char* env = std::getenv("SADP_FORCE_SCALAR");
+      env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return &kScalarKernels;
+  }
+  return probeAvx2() ? &kAvx2Kernels : &kScalarKernels;
+}
+
+std::atomic<const BitmapKernels*> g_kernels{nullptr};
+
 }  // namespace
+
+const BitmapKernels& activeKernels() {
+  const BitmapKernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = resolveAuto();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+}  // namespace detail
+
+bool cpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void setBitmapSimdLevel(SimdLevel lvl) {
+  const detail::BitmapKernels* k = nullptr;
+  switch (lvl) {
+    case SimdLevel::Scalar: k = &detail::kScalarKernels; break;
+    case SimdLevel::Avx2:
+      k = cpuSupportsAvx2() ? &detail::kAvx2Kernels : &detail::kScalarKernels;
+      break;
+    case SimdLevel::Auto: k = nullptr; break;
+  }
+  if (k == nullptr) {
+    // Defer to activeKernels()'s lazy Auto resolution (env + CPUID).
+    detail::g_kernels.store(nullptr, std::memory_order_release);
+    detail::activeKernels();
+  } else {
+    detail::g_kernels.store(k, std::memory_order_release);
+  }
+}
+
+SimdLevel activeBitmapSimdLevel() {
+  return &detail::activeKernels() == &detail::kAvx2Kernels ? SimdLevel::Avx2
+                                                           : SimdLevel::Scalar;
+}
 
 Bitmap Bitmap::dilated(int r) const {
   assert(r >= 0);
   if (r == 0) return *this;
+  const detail::BitmapKernels& k = detail::activeKernels();
   Bitmap mid(w_, h_), out(w_, h_);
-  filterRows(words_, mid.words_, h_, wpr_, tailMask(), -r, r, /*isAnd=*/false);
-  filterCols(mid.words_, out.words_, h_, wpr_, -r, r, /*isAnd=*/false);
+  k.filterRows(words_.data(), mid.words_.data(), h_, wpr_, tailMask(), -r, r,
+               /*isAnd=*/false);
+  k.filterCols(mid.words_.data(), out.words_.data(), h_, wpr_, -r, r,
+               /*isAnd=*/false);
   return out;
 }
 
@@ -231,24 +309,29 @@ Bitmap Bitmap::eroded(int r) const {
 Bitmap Bitmap::openedAnchored(int k) const {
   assert(k >= 1);
   if (k == 1) return *this;
+  const detail::BitmapKernels& kn = detail::activeKernels();
   Bitmap mid(w_, h_), ero(w_, h_), dil(w_, h_), out(w_, h_);
   // Erosion over the anchored window [0, k), then dilation with the
   // reflected window (-k, 0]; both separable, borders read as unset.
-  filterRows(words_, mid.words_, h_, wpr_, tailMask(), 0, k - 1, true);
-  filterCols(mid.words_, ero.words_, h_, wpr_, 0, k - 1, true);
-  filterRows(ero.words_, dil.words_, h_, wpr_, tailMask(), 1 - k, 0, false);
-  filterCols(dil.words_, out.words_, h_, wpr_, 1 - k, 0, false);
+  kn.filterRows(words_.data(), mid.words_.data(), h_, wpr_, tailMask(), 0,
+                k - 1, true);
+  kn.filterCols(mid.words_.data(), ero.words_.data(), h_, wpr_, 0, k - 1,
+                true);
+  kn.filterRows(ero.words_.data(), dil.words_.data(), h_, wpr_, tailMask(),
+                1 - k, 0, false);
+  kn.filterCols(dil.words_.data(), out.words_.data(), h_, wpr_, 1 - k, 0,
+                false);
   return out;
 }
 
-namespace {
+namespace detail {
 
 /// In-place transpose of a 64 x 64 bit block stored LSB-first (bit x of
 /// a[y] is pixel (x, y)). Recursive block swaps: at scale j the low-column
 /// half of the lower row block trades places with the high-column half of
 /// the upper one; the mask update `m ^= m << j` regenerates the low-half
 /// selector at each scale.
-void transpose64(std::uint64_t a[64]) {
+void scalarTranspose64(std::uint64_t a[64]) {
   std::uint64_t m = 0x00000000FFFFFFFFull;
   for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
     for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
@@ -259,9 +342,10 @@ void transpose64(std::uint64_t a[64]) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 Bitmap Bitmap::transposed() const {
+  const detail::BitmapKernels& kn = detail::activeKernels();
   Bitmap out(h_, w_);
   const int outWpr = out.wpr_;
   std::uint64_t tile[64];
@@ -274,7 +358,7 @@ Bitmap Bitmap::transposed() const {
         tile[i] = words_[std::size_t(y0 + i) * wpr_ + bx];
       }
       std::fill(tile + rows, tile + 64, 0);  // rows past h_ read as unset
-      transpose64(tile);
+      kn.transpose64(tile);
       const int x0 = bx << 6;
       const int cols = std::min(64, w_ - x0);
       for (int i = 0; i < cols; ++i) {

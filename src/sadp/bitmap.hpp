@@ -133,6 +133,23 @@ class Bitmap {
   std::vector<std::uint64_t> words_;
 };
 
+/// Dispatch level of the word-parallel morphology kernels (the separable
+/// dilate/erode filters and the 64 x 64 bit transpose). Scalar and Avx2
+/// are byte-identical by contract (tests/test_bitmap_simd.cpp); Avx2 is
+/// selected only when the CPU reports support.
+enum class SimdLevel : std::uint8_t { Auto, Scalar, Avx2 };
+
+/// Runtime override of the kernel dispatch (process-wide, atomic).
+/// `Auto` re-resolves from the environment and CPUID: scalar when
+/// SADP_FORCE_SCALAR is set to a nonempty value other than "0", else AVX2
+/// when the CPU supports it. Requesting Avx2 without CPU support resolves
+/// to Scalar.
+void setBitmapSimdLevel(SimdLevel lvl);
+/// The level kernels actually dispatch to right now (never Auto).
+SimdLevel activeBitmapSimdLevel();
+/// CPUID probe for AVX2 (false on non-x86 builds).
+bool cpuSupportsAvx2();
+
 /// True if any pixel of `b` within Chebyshev distance `r` of (x, y) is set.
 bool anyNear(const Bitmap& b, int x, int y, int r);
 

@@ -1,0 +1,229 @@
+// AVX2 implementations of the Bitmap morphology kernels (DESIGN.md §5.9).
+//
+// This translation unit is compiled with -mavx2 when the toolchain allows
+// it (see src/sadp/CMakeLists.txt); nothing here executes unless runtime
+// dispatch -- CPUID plus SADP_FORCE_SCALAR / setBitmapSimdLevel() -- has
+// confirmed AVX2 support, so file-level codegen flags are safe. Every
+// kernel is bit-for-bit identical to its scalar reference in bitmap.cpp,
+// enforced by the property suite in tests/test_bitmap_simd.cpp.
+#include "sadp/bitmap_kernels.hpp"
+
+#if defined(SADP_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace sadp::detail {
+
+namespace {
+
+/// The words [j, j+4) of the row shifted right by d pixels: word j of the
+/// result holds in[x + d] for x in [64j, 64j + 64). `row` points into a
+/// zero-padded buffer, so the straddling loads need no bounds checks; the
+/// arithmetic `>> 6` floor-divide makes one formula cover both shift
+/// directions.
+inline __m256i shiftedWords(const std::uint64_t* row, int j, int d) {
+  const int wo = d >> 6;
+  const int bo = d & 63;
+  const std::uint64_t* p = row + j + wo;
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  if (bo != 0) {
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 1));
+    v = _mm256_or_si256(_mm256_srl_epi64(v, _mm_cvtsi32_si128(bo)),
+                        _mm256_sll_epi64(hi, _mm_cvtsi32_si128(64 - bo)));
+  }
+  return v;
+}
+
+/// Scalar single-word tail of shiftedWords.
+inline std::uint64_t shiftedWord(const std::uint64_t* row, int j, int d) {
+  const int wo = d >> 6;
+  const int bo = d & 63;
+  const std::uint64_t* p = row + j + wo;
+  std::uint64_t v = p[0];
+  if (bo != 0) v = (v >> bo) | (p[1] << (64 - bo));
+  return v;
+}
+
+void avx2FilterRows(const std::uint64_t* in, std::uint64_t* out, int h,
+                    int wpr, std::uint64_t tail, int lo, int hi, bool isAnd) {
+  // Zero padding wide enough for every straddling load of shiftedWords:
+  // word offsets span [lo >> 6, (hi >> 6) + 1] plus the +1 high word.
+  const int maxAbs = std::max(std::abs(lo), std::abs(hi));
+  const int pad = (maxAbs >> 6) + 2;
+  std::vector<std::uint64_t> buf(std::size_t(wpr) + 2 * std::size_t(pad), 0);
+  std::uint64_t* row = buf.data() + pad;
+  for (int y = 0; y < h; ++y) {
+    std::memcpy(row, in + std::size_t(y) * wpr,
+                std::size_t(wpr) * sizeof(std::uint64_t));
+    std::uint64_t* dst = out + std::size_t(y) * wpr;
+    int j = 0;
+    for (; j + 4 <= wpr; j += 4) {
+      __m256i acc = shiftedWords(row, j, lo);
+      if (isAnd) {
+        for (int d = lo + 1; d <= hi; ++d) {
+          acc = _mm256_and_si256(acc, shiftedWords(row, j, d));
+        }
+      } else {
+        for (int d = lo + 1; d <= hi; ++d) {
+          acc = _mm256_or_si256(acc, shiftedWords(row, j, d));
+        }
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j), acc);
+    }
+    for (; j < wpr; ++j) {
+      std::uint64_t acc = shiftedWord(row, j, lo);
+      for (int d = lo + 1; d <= hi; ++d) {
+        if (isAnd) {
+          acc &= shiftedWord(row, j, d);
+        } else {
+          acc |= shiftedWord(row, j, d);
+        }
+      }
+      dst[j] = acc;
+    }
+    if (wpr > 0) dst[wpr - 1] &= tail;
+  }
+}
+
+void avx2FilterCols(const std::uint64_t* in, std::uint64_t* out, int h,
+                    int wpr, int lo, int hi, bool isAnd) {
+  for (int y = 0; y < h; ++y) {
+    std::uint64_t* dst = out + std::size_t(y) * wpr;
+    if (isAnd && (y + lo < 0 || y + hi >= h)) {
+      std::fill(dst, dst + wpr, 0);  // AND window reads past the raster
+      continue;
+    }
+    const int k0 = std::max(0, y + lo), k1 = std::min(h - 1, y + hi);
+    if (k0 > k1) {
+      std::fill(dst, dst + wpr, 0);
+      continue;
+    }
+    int j = 0;
+    for (; j + 4 <= wpr; j += 4) {
+      __m256i acc = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in + std::size_t(k0) * wpr + j));
+      if (isAnd) {
+        for (int k = k0 + 1; k <= k1; ++k) {
+          acc = _mm256_and_si256(
+              acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                       in + std::size_t(k) * wpr + j)));
+        }
+      } else {
+        for (int k = k0 + 1; k <= k1; ++k) {
+          acc = _mm256_or_si256(
+              acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                       in + std::size_t(k) * wpr + j)));
+        }
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j), acc);
+    }
+    for (; j < wpr; ++j) {
+      std::uint64_t acc = in[std::size_t(k0) * wpr + j];
+      for (int k = k0 + 1; k <= k1; ++k) {
+        if (isAnd) {
+          acc &= in[std::size_t(k) * wpr + j];
+        } else {
+          acc |= in[std::size_t(k) * wpr + j];
+        }
+      }
+      dst[j] = acc;
+    }
+  }
+}
+
+/// One swap stage of the 64 x 64 bit transpose for block distance J >= 4:
+/// the paired rows k and k+J live in different vectors, so four rows go
+/// through the scalar butterfly (t = ((a[k] >> J) ^ a[k+J]) & m;
+/// a[k+J] ^= t; a[k] ^= t << J) at once.
+template <int J>
+inline void stageWide(std::uint64_t* a, __m256i mv) {
+  static_assert(J >= 4);
+  for (int base = 0; base < 64; base += 2 * J) {
+    for (int k = base; k < base + J; k += 4) {
+      __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+      __m256i bv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k + J));
+      const __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(av, J), bv), mv);
+      bv = _mm256_xor_si256(bv, t);
+      av = _mm256_xor_si256(av, _mm256_slli_epi64(t, J));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + k), av);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + k + J), bv);
+    }
+  }
+}
+
+void avx2Transpose64(std::uint64_t a[64]) {
+  // Same butterfly network as scalarTranspose64, four rows per vector.
+  // Stages J >= 4 pair rows across vectors (stageWide); stages J = 2 and
+  // J = 1 pair rows inside one vector, handled with lane permutes: build
+  // t in the low lane of each pair, then XOR t << J into the low lanes
+  // and t into the high lanes via a 32-bit blend.
+  __m256i m = _mm256_set1_epi64x(0x00000000FFFFFFFFll);
+  stageWide<32>(a, m);
+  m = _mm256_set1_epi64x(0x0000FFFF0000FFFFll);
+  stageWide<16>(a, m);
+  m = _mm256_set1_epi64x(0x00FF00FF00FF00FFll);
+  stageWide<8>(a, m);
+  m = _mm256_set1_epi64x(0x0F0F0F0F0F0F0F0Fll);
+  stageWide<4>(a, m);
+
+  // J = 2: lanes (0,1) pair with (2,3) inside each vector of 4 rows.
+  m = _mm256_set1_epi64x(0x3333333333333333ll);
+  for (int k = 0; k < 64; k += 4) {
+    __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    // pv = [a2, a3, a0, a1]: partner rows into every lane.
+    const __m256i pv = _mm256_permute4x64_epi64(av, 0x4E);
+    // Valid in lanes 0,1: t = ((a[k] >> 2) ^ a[k+2]) & m.
+    const __m256i t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(av, 2), pv), m);
+    // tl = [t0, t1, t0, t1]; low lanes get t << 2, high lanes get t.
+    const __m256i tl = _mm256_permute4x64_epi64(t, 0x44);
+    av = _mm256_xor_si256(
+        av, _mm256_blend_epi32(_mm256_slli_epi64(tl, 2), tl, 0xF0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + k), av);
+  }
+
+  // J = 1: lane 0 pairs with 1, lane 2 with 3.
+  m = _mm256_set1_epi64x(0x5555555555555555ll);
+  for (int k = 0; k < 64; k += 4) {
+    __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    // pv = [a1, a0, a3, a2].
+    const __m256i pv = _mm256_permute4x64_epi64(av, 0xB1);
+    // Valid in lanes 0 and 2.
+    const __m256i t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(av, 1), pv), m);
+    // tl = [t0, t0, t2, t2]; even lanes get t << 1, odd lanes get t.
+    const __m256i tl = _mm256_permute4x64_epi64(t, 0xA0);
+    av = _mm256_xor_si256(
+        av, _mm256_blend_epi32(_mm256_slli_epi64(tl, 1), tl, 0xCC));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + k), av);
+  }
+}
+
+}  // namespace
+
+const BitmapKernels kAvx2Kernels{&avx2FilterRows, &avx2FilterCols,
+                                 &avx2Transpose64};
+
+}  // namespace sadp::detail
+
+#else  // toolchain or architecture cannot produce AVX2 code
+
+namespace sadp::detail {
+
+// Alias the scalar reference so dispatch tables stay well-formed; runtime
+// selection never picks this table unless CPUID reported AVX2, which
+// cannot happen on these builds anyway.
+const BitmapKernels kAvx2Kernels{&scalarFilterRows, &scalarFilterCols,
+                                 &scalarTranspose64};
+
+}  // namespace sadp::detail
+
+#endif

@@ -1,0 +1,98 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sadp {
+
+Arena::~Arena() {
+  auto freeChain = [](Block* b) {
+    while (b != nullptr) {
+      Block* prev = b->prev;
+      ::operator delete(static_cast<void*>(b));
+      b = prev;
+    }
+  };
+  freeChain(head_);
+  freeChain(spare_);
+}
+
+Arena::Block* Arena::newBlock(std::size_t minBytes) {
+  std::size_t cap = head_ ? std::min(head_->capacity * 2, kMaxBlockBytes)
+                          : kInitialBlockBytes;
+  cap = std::max(cap, minBytes);
+  void* raw = ::operator new(sizeof(Block) + cap);
+  Block* b = new (raw) Block;
+  b->capacity = cap;
+  bytesReserved_ += cap;
+  return b;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  Block* b = head_;
+  if (b != nullptr) {
+    const std::size_t aligned = (b->used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= b->capacity) {
+      b->used = aligned + bytes;
+      bytesAllocated_ += bytes;
+      return b->data() + aligned;
+    }
+  }
+  return allocSlow(bytes, align);
+}
+
+void* Arena::allocSlow(std::size_t bytes, std::size_t align) {
+  // Reuse a rewound spare block when it fits; otherwise grow. Blocks are
+  // header-aligned to max_align_t, so offset 0 satisfies any `align` up to
+  // that; oversized alignment is folded into the size request.
+  const std::size_t need = bytes + (align > alignof(std::max_align_t)
+                                        ? align
+                                        : 0);
+  Block* b = nullptr;
+  if (spare_ != nullptr && spare_->capacity >= need) {
+    b = spare_;
+    spare_ = spare_->prev;
+  } else {
+    b = newBlock(need);
+  }
+  b->prev = head_;
+  b->used = 0;
+  head_ = b;
+  std::size_t off = 0;
+  if (align > alignof(std::max_align_t)) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b->data());
+    off = ((base + align - 1) & ~(std::uintptr_t(align) - 1)) - base;
+  }
+  b->used = off + bytes;
+  bytesAllocated_ += bytes;
+  return b->data() + off;
+}
+
+void Arena::reset() {
+  assert(openScopes_ == 0 && "reset() with an open ArenaScope");
+  while (head_ != nullptr) {
+    Block* prev = head_->prev;
+    head_->used = 0;
+    head_->prev = spare_;
+    spare_ = head_;
+    head_ = prev;
+  }
+  bytesAllocated_ = 0;
+}
+
+void ArenaScope::rewind() {
+  Arena& a = *arena_;
+  // Pop blocks opened inside the scope back onto the spare list, then
+  // restore the entry offset in the block that was current at entry.
+  while (a.head_ != mark_.block) {
+    Arena::Block* prev = a.head_->prev;
+    a.head_->used = 0;
+    a.head_->prev = a.spare_;
+    a.spare_ = a.head_;
+    a.head_ = prev;
+  }
+  if (a.head_ != nullptr) a.head_->used = mark_.used;
+}
+
+}  // namespace sadp

@@ -1,0 +1,266 @@
+// Fuzz equivalence suite for the fixed-point A* core (DESIGN.md §5.9).
+//
+// The bucket (Dial) open list and the integer binary heap share one cost
+// model and, by construction, one pop order -- LIFO within equal f equals
+// ordering by (f, push sequence descending). These tests enforce that
+// byte-for-byte over randomized grids, obstacle fields, penalty fields and
+// T2b marks: identical paths (node by node), costs, via counts, expansion
+// counts, and metric counter values, route after route on a warm engine.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "route/astar.hpp"
+#include "run/run_context.hpp"
+
+namespace sadp {
+namespace {
+
+struct RouteOutcome {
+  bool routed = false;
+  std::vector<GridNode> path;
+  double cost = 0.0;
+  int vias = 0;
+  std::int64_t expansions = 0;
+  std::int64_t ctrRoutes = 0;
+  std::int64_t ctrExpansions = 0;
+  std::int64_t ctrPushes = 0;
+};
+
+bool operator==(const RouteOutcome& a, const RouteOutcome& b) {
+  return a.routed == b.routed && a.path == b.path && a.cost == b.cost &&
+         a.vias == b.vias && a.expansions == b.expansions &&
+         a.ctrRoutes == b.ctrRoutes &&
+         a.ctrExpansions == b.ctrExpansions && a.ctrPushes == b.ctrPushes;
+}
+
+struct Scenario {
+  RoutingGrid grid;
+  std::vector<GridNode> sources;
+  std::vector<GridNode> targets;
+  AStarParams params;
+  PenaltyField extra;
+  T2bField t2b;
+  bool useExtra = false;
+  bool useT2b = false;
+};
+
+/// Randomized routing scenario: obstacles, multi-source/multi-target pin
+/// sets, quantizable cost weights, and optional (nonnegative) penalty and
+/// T2b fields so both bucket and heap modes stay eligible.
+Scenario makeScenario(std::mt19937& rng) {
+  std::uniform_int_distribution<int> dim(8, 24);
+  std::uniform_int_distribution<int> layerCount(1, 3);
+  const Track w = Track(dim(rng));
+  const Track h = Track(dim(rng));
+  const int layers = layerCount(rng);
+  Scenario s{RoutingGrid(w, h, layers, DesignRules{}),
+             {},
+             {},
+             AStarParams{},
+             PenaltyField{RoutingGrid(w, h, layers, DesignRules{})},
+             T2bField{RoutingGrid(w, h, layers, DesignRules{})}};
+  s.extra = PenaltyField(s.grid);
+  s.t2b = T2bField(s.grid);
+
+  std::uniform_int_distribution<int> x(0, w - 1);
+  std::uniform_int_distribution<int> y(0, h - 1);
+  std::uniform_int_distribution<int> l(0, layers - 1);
+  auto node = [&] {
+    return GridNode{Track(x(rng)), Track(y(rng)), std::int16_t(l(rng))};
+  };
+
+  // Obstacles owned by another net (the routed net is net 1).
+  std::uniform_int_distribution<int> obstacleCount(0, int(w) * int(h) / 4);
+  const int obstacles = obstacleCount(rng);
+  for (int i = 0; i < obstacles; ++i) s.grid.occupy(node(), 99);
+
+  std::uniform_int_distribution<int> pins(1, 4);
+  const int nSrc = pins(rng);
+  const int nTgt = pins(rng);
+  for (int i = 0; i < nSrc; ++i) s.sources.push_back(node());
+  for (int i = 0; i < nTgt; ++i) s.targets.push_back(node());
+
+  // Dyadic weights: exactly representable at scale <= 2^3, and
+  // wrongWay >= 1 so the bucket mode's consistency precondition holds.
+  std::uniform_int_distribution<int> eighths(1, 24);
+  std::uniform_int_distribution<int> wrongEighths(8, 24);
+  s.params.alpha = eighths(rng) / 8.0;
+  s.params.beta = eighths(rng) / 8.0;
+  s.params.gamma = eighths(rng) / 8.0;
+  s.params.wrongWay = wrongEighths(rng) / 8.0;
+
+  std::bernoulli_distribution coin(0.5);
+  std::uniform_real_distribution<float> pen(0.0f, 12.0f);
+  std::uniform_int_distribution<int> penCount(0, 40);
+  s.useExtra = coin(rng);
+  if (s.useExtra) {
+    const int n = penCount(rng);
+    for (int i = 0; i < n; ++i) s.extra.add(node(), pen(rng));
+  }
+  s.useT2b = coin(rng);
+  if (s.useT2b) {
+    const int n = penCount(rng);
+    for (int i = 0; i < n; ++i) {
+      s.t2b.horizontalEntry.add(node(), pen(rng));
+      s.t2b.verticalEntry.add(node(), pen(rng));
+    }
+  }
+  return s;
+}
+
+/// Runs the scenario's route sequence under one open-list mode with a
+/// fresh RunContext, snapshotting results and metric counters.
+std::vector<RouteOutcome> runMode(const Scenario& s, OpenList mode) {
+  RunContext ctx;
+  RunContext::Scope scope(ctx);
+  AStarEngine engine(s.grid, &ctx);
+  AStarParams params = s.params;
+  params.openList = mode;
+  const PenaltyField* extra = s.useExtra ? &s.extra : nullptr;
+  const T2bField* t2b = s.useT2b ? &s.t2b : nullptr;
+
+  std::vector<RouteOutcome> out;
+  // Route twice (warm engine, reused epoch-stamped arrays), then once
+  // with sources/targets swapped for a different search shape.
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto& src = pass == 2 ? s.targets : s.sources;
+    const auto& tgt = pass == 2 ? s.sources : s.targets;
+    auto res = engine.route(1, src, tgt, params, extra, t2b);
+    RouteOutcome o;
+    o.routed = res.has_value();
+    if (res) {
+      o.path = res->path;
+      o.cost = res->cost;
+      o.vias = res->vias;
+      o.expansions = res->expansions;
+    }
+    o.ctrRoutes = ctx.metrics().counter("astar.routes").value();
+    o.ctrExpansions = ctx.metrics().counter("astar.expansions").value();
+    o.ctrPushes = ctx.metrics().counter("astar.heap_pushes").value();
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+TEST(AStarEquiv, BucketMatchesHeapByteForByte) {
+  std::mt19937 rng(20140601);  // DAC'14 seed; deterministic suite
+  for (int iter = 0; iter < 150; ++iter) {
+    Scenario s = makeScenario(rng);
+    const auto bucket = runMode(s, OpenList::Bucket);
+    const auto heap = runMode(s, OpenList::Heap);
+    ASSERT_EQ(bucket.size(), heap.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      EXPECT_TRUE(bucket[i] == heap[i])
+          << "iter " << iter << " pass " << i << ": bucket(cost="
+          << bucket[i].cost << ", exp=" << bucket[i].expansions
+          << ", pushes=" << bucket[i].ctrPushes << ", len="
+          << bucket[i].path.size() << ") vs heap(cost=" << heap[i].cost
+          << ", exp=" << heap[i].expansions << ", pushes="
+          << heap[i].ctrPushes << ", len=" << heap[i].path.size() << ")";
+    }
+  }
+}
+
+TEST(AStarEquiv, AutoSelectsBucketResultsOnCleanFields) {
+  // With nonnegative fields and wrongWay >= 1, Auto must behave exactly
+  // like the forced-bucket mode (it selects it).
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 40; ++iter) {
+    Scenario s = makeScenario(rng);
+    const auto autoMode = runMode(s, OpenList::Auto);
+    const auto bucket = runMode(s, OpenList::Bucket);
+    for (std::size_t i = 0; i < autoMode.size(); ++i) {
+      EXPECT_TRUE(autoMode[i] == bucket[i]) << "iter " << iter;
+    }
+  }
+}
+
+TEST(AStarEquiv, NegativePenaltiesFallBackAndStillAgree) {
+  // A field holding negative values disables the bucket mode; Auto must
+  // fall back to the integer heap, and a forced Bucket request must also
+  // decay to the heap rather than corrupt the monotone invariant. The
+  // negative deltas are capped at the minimum step weight (1/8), keeping
+  // every edge cost nonnegative -- a genuinely negative cycle would hang
+  // any reopening-based search, legacy engine included.
+  std::mt19937 rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    Scenario s = makeScenario(rng);
+    s.useExtra = true;
+    std::uniform_int_distribution<int> x(0, s.grid.width() - 1);
+    std::uniform_int_distribution<int> y(0, s.grid.height() - 1);
+    for (int i = 0; i < 10; ++i) {
+      const GridNode n{Track(x(rng)), Track(y(rng)), 0};
+      if (s.extra.at(n) == 0.0f) s.extra.add(n, -0.125f);
+    }
+    for (Track xx = 0; !s.extra.hasNegative() && xx < s.grid.width(); ++xx) {
+      const GridNode n{xx, 0, 0};
+      if (s.extra.at(n) == 0.0f) s.extra.add(n, -0.125f);
+    }
+    ASSERT_TRUE(s.extra.hasNegative());
+    const auto autoMode = runMode(s, OpenList::Auto);
+    const auto heap = runMode(s, OpenList::Heap);
+    const auto bucket = runMode(s, OpenList::Bucket);
+    for (std::size_t i = 0; i < autoMode.size(); ++i) {
+      EXPECT_TRUE(autoMode[i] == heap[i]) << "iter " << iter;
+      EXPECT_TRUE(bucket[i] == heap[i]) << "iter " << iter;
+    }
+  }
+}
+
+TEST(AStarEquiv, UnrepresentableWeightsUseLegacyPath) {
+  // alpha = 1/3 has no finite power-of-two fixed-point representation:
+  // every mode must agree because they all route through the legacy
+  // double-cost engine (the documented fallback).
+  RoutingGrid g(16, 16, 2, DesignRules{});
+  AStarParams p;
+  p.alpha = 1.0 / 3.0;
+  EXPECT_FALSE(deriveFixedCostScale(p).ok);
+  for (OpenList mode :
+       {OpenList::Auto, OpenList::Bucket, OpenList::Heap}) {
+    AStarParams q = p;
+    q.openList = mode;
+    AStarEngine eng(g);
+    auto res = eng.route(1, {{GridNode{1, 1, 0}}}, {{GridNode{12, 9, 1}}}, q);
+    ASSERT_TRUE(res.has_value());
+    // 11 horizontal + 8 vertical steps (one direction wrong-way) + 1 via;
+    // exact value depends on preferred directions, so just require all
+    // modes to produce the identical legacy result.
+    AStarParams ref = p;
+    ref.openList = OpenList::LegacyFloat;
+    AStarEngine refEng(g);
+    auto refRes =
+        refEng.route(1, {{GridNode{1, 1, 0}}}, {{GridNode{12, 9, 1}}}, ref);
+    ASSERT_TRUE(refRes.has_value());
+    EXPECT_EQ(res->path, refRes->path);
+    EXPECT_DOUBLE_EQ(res->cost, refRes->cost);
+    EXPECT_EQ(res->expansions, refRes->expansions);
+  }
+}
+
+TEST(AStarEquiv, FixedScaleDerivation) {
+  AStarParams def;  // alpha=1, beta=1, wrongWay=1.5 -> scale 2
+  const FixedCostScale fs = deriveFixedCostScale(def);
+  ASSERT_TRUE(fs.ok);
+  EXPECT_EQ(fs.shift, 1);
+  EXPECT_EQ(fs.alphaQ, 2);
+  EXPECT_EQ(fs.betaQ, 2);
+  EXPECT_EQ(fs.wrongQ, 3);
+
+  AStarParams ints;
+  ints.alpha = 2.0;
+  ints.beta = 3.0;
+  ints.wrongWay = 2.0;
+  const FixedCostScale fi = deriveFixedCostScale(ints);
+  ASSERT_TRUE(fi.ok);
+  EXPECT_EQ(fi.shift, 0);
+
+  AStarParams neg;
+  neg.alpha = -1.0;
+  EXPECT_FALSE(deriveFixedCostScale(neg).ok);
+}
+
+}  // namespace
+}  // namespace sadp

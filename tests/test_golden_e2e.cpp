@@ -18,6 +18,7 @@
 #include "netlist/benchmark.hpp"
 #include "ocg/scenario.hpp"
 #include "route/router.hpp"
+#include "sadp/bitmap.hpp"
 #include "sadp/decompose.hpp"
 #include "util/parallel_for.hpp"
 
@@ -39,11 +40,14 @@ std::string hex16(std::uint64_t v) {
 /// 0) followed by one fingerprint line per layer covering all six mask
 /// planes of the decomposition.
 std::string runPipeline(int threads, int tileWords,
-                        BandSchedule schedule = BandSchedule::Static) {
+                        BandSchedule schedule = BandSchedule::Static,
+                        OpenList openList = OpenList::Auto) {
   setParallelThreads(threads);
   const BenchmarkSpec spec = paperBenchmark("Test1").scaled(0.06);
   BenchmarkInstance inst = makeBenchmark(spec);
-  OverlayAwareRouter router(inst.grid, inst.netlist);
+  RouterOptions ropts;
+  ropts.astar.openList = openList;
+  OverlayAwareRouter router(inst.grid, inst.netlist, ropts);
   const RoutingStats stats = router.run();
   DecomposeOptions opts;
   opts.tileWords = tileWords;
@@ -115,6 +119,36 @@ TEST(GoldenE2E, MatchesCommittedFixtureAcrossThreadsAndTiling) {
         << " schedule=" << (c.schedule == BandSchedule::Dynamic ? "dynamic"
                                                                 : "static");
   }
+}
+
+// The open-list × SIMD dispatch matrix must all land on the committed
+// document: the heap is the reference implementation the Dial buckets are
+// byte-equivalent to (DESIGN.md §5.9.1), and the scalar bitmap kernels are
+// byte-equivalent to the AVX2 ones, so no combination may perturb routes,
+// masks or the report.
+TEST(GoldenE2E, OpenListAndSimdDispatchMatrixByteIdentical) {
+  const std::string path =
+      std::string(SADP_GOLDEN_DIR) + "/test1_s006.golden";
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f) << "missing fixture " << path
+                 << " -- regenerate with SADP_UPDATE_GOLDEN=1";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string golden = buf.str();
+  const struct {
+    OpenList openList;
+    SimdLevel simd;
+    const char* name;
+  } configs[] = {{OpenList::Bucket, SimdLevel::Auto, "bucket/auto"},
+                 {OpenList::Heap, SimdLevel::Auto, "heap/auto"},
+                 {OpenList::Bucket, SimdLevel::Scalar, "bucket/scalar"},
+                 {OpenList::Heap, SimdLevel::Scalar, "heap/scalar"}};
+  for (const auto& c : configs) {
+    setBitmapSimdLevel(c.simd);
+    EXPECT_EQ(runPipeline(1, -1, BandSchedule::Static, c.openList), golden)
+        << c.name << " diverged from the fixture";
+  }
+  setBitmapSimdLevel(SimdLevel::Auto);
 }
 
 /// The imbalanced fixture the dynamic scheduler exists for: layer-0-style
