@@ -57,6 +57,9 @@ class RoutingGrid {
   }
 
   NetId owner(const GridNode& n) const { return occ_[index(n)]; }
+  /// Owner by linear index — footprint verification reads recorded
+  /// indices without re-deriving coordinates (route/route_memo.hpp).
+  NetId ownerAtIndex(std::size_t idx) const { return occ_[idx]; }
   bool isFree(const GridNode& n) const { return occ_[index(n)] == kInvalidNet; }
   bool isBlocked(const GridNode& n) const {
     return occ_[index(n)] == kBlockageNet;

@@ -1,6 +1,7 @@
 #include "ocg/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 namespace sadp {
@@ -244,6 +245,11 @@ Classification classify(const Fragment& a, const Fragment& b) {
   const bool swapped = aAlongLo > bAlongLo;
   if (along == 1 && across == 2) return fromRule(ScenarioType::T3c, swapped);
   return fromRule(ScenarioType::T3d, swapped);  // along == 2 && across == 1
+}
+
+Track independenceRadiusTracks(const DesignRules& rules) {
+  const double dIndep = std::sqrt(double(rules.dIndepSq()));
+  return Track(std::ceil(dIndep / double(rules.pitch())));
 }
 
 }  // namespace sadp

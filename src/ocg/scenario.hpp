@@ -144,4 +144,13 @@ constexpr bool independentGaps(Track gx, Track gy) {
   return mn >= 2 || mx >= 3;
 }
 
+/// Independence radius of Theorem 1 in whole tracks: the smallest track
+/// count k such that any fragment farther than k tracks (in both axes) is
+/// Independent of a given fragment. d_indep = sqrt(2) * (w_line +
+/// 2*w_spacer) ~= 84.85 nm under default rules; dividing by the pitch and
+/// rounding up gives k = 3. The ECO path uses this to bound an edit's
+/// dirty region: nets entirely outside the edited geometry inflated by k
+/// tracks cannot change scenario relations with it (service/session.cpp).
+Track independenceRadiusTracks(const DesignRules& rules);
+
 }  // namespace sadp

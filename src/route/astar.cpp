@@ -6,6 +6,7 @@
 #include <memory_resource>
 #include <queue>
 
+#include "route/route_memo.hpp"
 #include "run/run_context.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -203,6 +204,39 @@ struct AStarEngine::IntSearchSetup {
   std::int64_t quant(double v) const { return std::llround(v * scaleD); }
 };
 
+void AStarEngine::recordProbe(const GridNode& n, NetId net,
+                              const PenaltyField* extra, const T2bField* t2b) {
+  SearchFootprint& fp = *record_;
+  if (fp.overflow) return;
+  if (recStamp_.size() != grid_->nodeCount()) {
+    recStamp_.assign(grid_->nodeCount(), 0);
+  }
+  const auto idx = std::uint32_t(grid_->index(n));
+  if (recStamp_[idx] == epoch_) return;  // already recorded this search
+  recStamp_[idx] = epoch_;
+  fp.bbox = fp.bbox.unionWith(Rect{n.x, n.y, n.x + 1, n.y + 1});
+  // Footprint cap: a search that touches a large fraction of the grid is
+  // cheaper to redo than to verify, and an unbounded footprint would make
+  // the memo store scale with searched area rather than path length.
+  constexpr std::size_t kMaxFootprintReads = 200'000;
+  if (fp.reads.size() >= kMaxFootprintReads) {
+    fp.overflow = true;
+    return;
+  }
+  const NetId owner = grid_->owner(n);
+  SearchCellRead r;
+  r.index = idx;
+  r.owner = owner == kInvalidNet ? CellOwnerClass::Free
+            : owner == net       ? CellOwnerClass::Self
+                                 : CellOwnerClass::Other;
+  if (t2b != nullptr) {
+    r.t2bH = t2b->horizontalEntry.at(n);
+    r.t2bV = t2b->verticalEntry.at(n);
+  }
+  if (extra != nullptr) r.penalty = extra->at(n);
+  fp.reads.push_back(r);
+}
+
 AStarEngine::AStarEngine(const RoutingGrid& grid, RunContext* ctx)
     : grid_(&grid),
       scratch_(&(ctx ? *ctx : RunContext::current()).scratchArena()),
@@ -219,7 +253,7 @@ AStarEngine::AStarEngine(const RoutingGrid& grid, RunContext* ctx)
   expansionsPerRoute_ = &m.histogram("astar.expansions_per_route");
 }
 
-template <class Open>
+template <bool kRecord, class Open>
 std::optional<AStarResult> AStarEngine::searchFixed(
     Open& open, NetId net, std::span<const GridNode> targets,
     const IntSearchSetup& su, AStarResult& result) {
@@ -290,7 +324,9 @@ std::optional<AStarResult> AStarEngine::searchFixed(
         case 4: nxt.layer += 1; viaMove = true; break;
         case 5: nxt.layer -= 1; viaMove = true; break;
       }
-      if (!grid.inBounds(nxt) || !passable(nxt)) continue;
+      if (!grid.inBounds(nxt)) continue;
+      if constexpr (kRecord) recordProbe(nxt, net, su.extra, su.t2b);
+      if (!passable(nxt)) continue;
       std::int64_t stepQ;
       if (viaMove) {
         stepQ = su.betaQ;
@@ -444,7 +480,9 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
   std::int64_t minF = kInfQ;
   std::int64_t maxF = 0;
   for (const GridNode& s : sources) {
-    if (!grid.inBounds(s) || !passable(s)) continue;
+    if (!grid.inBounds(s)) continue;
+    if (record_ != nullptr) recordProbe(s, net, extra, t2b);
+    if (!passable(s)) continue;
     const auto idx = std::uint32_t(grid.index(s));
     const std::int64_t f = srcH(s);
     srcs.push_back({idx, f});
@@ -492,12 +530,16 @@ std::optional<AStarResult> AStarEngine::route(NetId net,
     if (buckets <= kMaxBuckets) {
       BucketOpen open(*scratch_, minF, std::uint32_t(buckets));
       seed(open);
-      return searchFixed(open, net, targets, su, result);
+      return record_ != nullptr
+                 ? searchFixed<true>(open, net, targets, su, result)
+                 : searchFixed<false>(open, net, targets, su, result);
     }
   }
   IntHeapOpen open(*scratch_);
   seed(open);
-  return searchFixed(open, net, targets, su, result);
+  return record_ != nullptr
+             ? searchFixed<true>(open, net, targets, su, result)
+             : searchFixed<false>(open, net, targets, su, result);
 }
 
 std::optional<AStarResult> AStarEngine::routeLegacy(
@@ -550,7 +592,9 @@ std::optional<AStarResult> AStarEngine::routeLegacy(
 
   std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>> open;
   for (const GridNode& s : sources) {
-    if (!grid.inBounds(s) || !passable(s)) continue;
+    if (!grid.inBounds(s)) continue;
+    if (record_ != nullptr) recordProbe(s, net, extra, t2b);
+    if (!passable(s)) continue;
     const std::uint32_t idx = std::uint32_t(grid.index(s));
     visit(idx);
     best_[idx] = 0.0f;
@@ -583,7 +627,9 @@ std::optional<AStarResult> AStarEngine::routeLegacy(
         case 4: nxt.layer += 1; viaMove = true; break;
         case 5: nxt.layer -= 1; viaMove = true; break;
       }
-      if (!grid.inBounds(nxt) || !passable(nxt)) continue;
+      if (!grid.inBounds(nxt)) continue;
+      if (record_ != nullptr) recordProbe(nxt, net, extra, t2b);
+      if (!passable(nxt)) continue;
       if (viaMove) {
         step = params.beta;
       } else {

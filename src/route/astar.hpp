@@ -42,7 +42,11 @@ struct AStarParams {
   double wrongWay = 1.5;     ///< multiplier on alpha against preferred dir
   std::int64_t maxExpansions = 4'000'000;  ///< search effort cap
   OpenList openList = OpenList::Auto;      ///< open-list selector
+
+  friend bool operator==(const AStarParams&, const AStarParams&) = default;
 };
+
+struct SearchFootprint;  // route/route_memo.hpp: recorded read set
 
 /// Exact power-of-two fixed-point scale for an AStarParams cost model:
 /// the smallest 2^shift under which alpha, beta and alpha*wrongWay are all
@@ -74,6 +78,10 @@ class PenaltyField {
     if (v > maxSeen_) maxSeen_ = v;
   }
   float at(const GridNode& n) const { return values_[grid_->index(n)]; }
+  /// Index-based read for footprint verification (route/route_memo.hpp):
+  /// recorded reads store RoutingGrid::index values, and verification is on
+  /// the replay hot path.
+  float atIndex(std::size_t idx) const { return values_[idx]; }
   void clear() {
     std::fill(values_.begin(), values_.end(), 0.0f);
     negCount_ = 0;
@@ -133,10 +141,19 @@ class AStarEngine {
                                    const PenaltyField* extra = nullptr,
                                    const T2bField* t2b = nullptr);
 
+  /// Attaches a footprint recorder for the NEXT route() call(s): every cell
+  /// the search probes (in-bounds source seeds and neighbor candidates) is
+  /// recorded once with its occupancy class and field values. Pass nullptr
+  /// to stop recording. Recording is off by default and costs nothing then.
+  void setFootprintRecorder(SearchFootprint* fp) { record_ = fp; }
+
  private:
   struct IntSearchSetup;  // resolved cost model + mode (astar.cpp)
 
-  template <class Open>
+  /// kRecord selects the footprint-recording instantiation; the common
+  /// non-recording one keeps the expansion loop free of the recordProbe
+  /// call site (its mere presence costs ~25% in register spills).
+  template <bool kRecord, class Open>
   std::optional<AStarResult> searchFixed(Open& open, NetId net,
                                          std::span<const GridNode> targets,
                                          const IntSearchSetup& su,
@@ -149,6 +166,10 @@ class AStarEngine {
                                          const T2bField* t2b,
                                          AStarResult& result);
 
+  /// Records one probed cell into *record_ (first touch per epoch only).
+  void recordProbe(const GridNode& n, NetId net, const PenaltyField* extra,
+                   const T2bField* t2b);
+
   const RoutingGrid* grid_;
   Arena* scratch_;  ///< owning context's per-run scratch arena
   std::vector<float> best_;          ///< legacy double-cost path only
@@ -158,6 +179,8 @@ class AStarEngine {
   std::vector<std::uint32_t> targetStamp_;
   std::uint32_t epoch_ = 0;
   std::int64_t pushCount_ = 0;  ///< open-list pushes of the current route()
+  SearchFootprint* record_ = nullptr;    ///< active footprint recorder
+  std::vector<std::uint32_t> recStamp_;  ///< dedup stamps (lazy, record only)
   // Per-engine (hence per-run) metric handles; see ctor comment.
   Counter* routesCounter_;
   Counter* expansionsCounter_;

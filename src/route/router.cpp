@@ -1,6 +1,7 @@
 #include "route/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "run/run_context.hpp"
 #include "trace/metrics.hpp"
@@ -45,6 +46,7 @@ OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
   counters_.repairFlips = &m.counter("repair.color_flips");
   counters_.repairReroutes = &m.counter("repair.reroutes");
   counters_.repairSacrifices = &m.counter("repair.sacrifices");
+  counters_.verifySkips = &m.counter("router.verify_skips");
   // Reserve every pin candidate so later nets cannot run over them.
   for (const Net& n : netlist.nets) {
     for (const Pin* pin : netPins(n)) {
@@ -61,7 +63,71 @@ void OverlayAwareRouter::occupyPath(const Net& net) {
   }
 }
 
+namespace {
+/// T2b entry marks land up to two tracks outside the fragment cells that
+/// spawn them (applyT2bMarks), so a route change influences field reads
+/// that far beyond its own cells.
+constexpr Nm kChangedHaloTracks = 2;
+
+Rect pathBounds(std::span<const GridNode> path) {
+  Rect b;
+  for (const GridNode& n : path) {
+    b = b.unionWith(Rect{n.x, n.y, n.x + 1, n.y + 1});
+  }
+  return b;
+}
+}  // namespace
+
+void OverlayAwareRouter::noteChanged(const Rect& trBox) {
+  if (!opts_.trustChangedRegions || trBox.empty()) return;
+  changedBoxes_.push_back(trBox.inflated(kChangedHaloTracks));
+}
+
+void OverlayAwareRouter::noteDiverged(NetId net) {
+  if (!opts_.trustChangedRegions) return;
+  if (net < 0 || std::size_t(net) >= divergedNoted_.size() ||
+      divergedNoted_[std::size_t(net)] != 0) {
+    return;
+  }
+  divergedNoted_[std::size_t(net)] = 1;
+  if (std::size_t(net) < opts_.prevNetBoxes.size()) {
+    noteChanged(opts_.prevNetBoxes[std::size_t(net)]);
+  }
+}
+
+void OverlayAwareRouter::addRipUpPenalty(const GridNode& n, float delta) {
+  auto mix = [&](std::uint64_t v) {
+    ripUpHistoryHash_ ^= v + 0x9e3779b97f4a7c15ull +
+                         (ripUpHistoryHash_ << 6) + (ripUpHistoryHash_ >> 2);
+  };
+  mix((std::uint64_t(std::uint32_t(n.x)) << 32) | std::uint32_t(n.y));
+  mix((std::uint64_t(std::uint16_t(n.layer)) << 32) |
+      std::bit_cast<std::uint32_t>(delta));
+  ripUpField_.add(n, delta);
+}
+
+void OverlayAwareRouter::clearRipUpField() {
+  // Clearing erases history: empty contents hash identically no matter
+  // what came before, so divergence in one net's penalty events cannot
+  // leak misses into every later net's searches.
+  ripUpHistoryHash_ = 0;
+  ripUpField_.clear();
+}
+
+bool OverlayAwareRouter::changedRegionsMiss(const SearchFootprint& fp) const {
+  if (fp.bbox.empty()) return false;  // boxless entry: walk the reads
+  for (const Rect& r : changedBoxes_) {
+    if (r.overlaps(fp.bbox)) return false;
+  }
+  return true;
+}
+
 void OverlayAwareRouter::releasePath(const Net& net) {
+  // Any released route is suspect state for later replayed footprints:
+  // whether this mirrors a previous-run rejection or is a fresh
+  // divergence, later nets recorded near it must verify.
+  noteDiverged(net.id);
+  noteChanged(pathBounds(states_[net.id].path));
   for (const GridNode& n : states_[net.id].path) {
     grid_->release(n, net.id);
   }
@@ -101,7 +167,7 @@ void OverlayAwareRouter::penalizeHardHits(
     const auto L = std::int16_t(h.layer);
     for (Track y = h.a.ylo - 1; y <= h.a.yhi; ++y) {
       for (Track x = h.a.xlo - 1; x <= h.a.xhi; ++x) {
-        ripUpField_.add({x, y, L}, opts_.ripUpPenalty);
+        addRipUpPenalty({x, y, L}, opts_.ripUpPenalty);
       }
     }
   }
@@ -120,6 +186,91 @@ void OverlayAwareRouter::tearDownNet(const Net& net) {
   st.wirelength = 0;
   model_.removeNet(net.id);
   releasePath(net);
+}
+
+DecomposeOptions OverlayAwareRouter::internalDecomposeOpts() const {
+  DecomposeOptions o;
+  o.ctx = ctx_;
+  o.cache = opts_.maskCache;
+  return o;
+}
+
+bool OverlayAwareRouter::footprintMatches(const SearchFootprint& fp, NetId net,
+                                          const PenaltyField* extra,
+                                          const T2bField* t2b) const {
+  for (const SearchCellRead& r : fp.reads) {
+    const NetId owner = grid_->ownerAtIndex(r.index);
+    const CellOwnerClass cls = owner == kInvalidNet ? CellOwnerClass::Free
+                               : owner == net       ? CellOwnerClass::Self
+                                                    : CellOwnerClass::Other;
+    if (cls != r.owner) return false;
+    if (t2b != nullptr &&
+        (t2b->horizontalEntry.atIndex(r.index) != r.t2bH ||
+         t2b->verticalEntry.atIndex(r.index) != r.t2bV)) {
+      return false;
+    }
+    if (extra != nullptr && extra->atIndex(r.index) != r.penalty) return false;
+  }
+  return true;
+}
+
+std::optional<AStarResult> OverlayAwareRouter::memoSearch(
+    NetId net, std::span<const GridNode> sources,
+    std::span<const GridNode> targets, const PenaltyField* extra,
+    const T2bField* t2b) {
+  if (opts_.memo == nullptr) {
+    return engine_.route(net, sources, targets, opts_.astar, extra, t2b);
+  }
+  SearchMemoKey key;
+  key.sources.assign(sources.begin(), sources.end());
+  key.targets.assign(targets.begin(), targets.end());
+  key.params = opts_.astar;
+  key.usedPenalty = extra != nullptr;
+  key.usedT2b = t2b != nullptr;
+  if (extra != nullptr) {
+    key.penaltyHistory = ripUpHistoryHash_;
+    key.penaltyMaxSeen = extra->maxSeen();
+    key.penaltyHasNegative = extra->hasNegative();
+  }
+  if (t2b != nullptr) {
+    key.t2bHMaxSeen = t2b->horizontalEntry.maxSeen();
+    key.t2bVMaxSeen = t2b->verticalEntry.maxSeen();
+    key.t2bHasNegative = t2b->horizontalEntry.hasNegative() ||
+                         t2b->verticalEntry.hasNegative();
+  }
+  SearchMemoEntry* prev = opts_.memo->next(net);
+  if (prev != nullptr && !prev->footprint.overflow && prev->key == key) {
+    // Fast path: with trusted changed-region tracking, a footprint whose
+    // probed bbox misses every changed region cannot have observed the
+    // edit -- skip the per-cell walk. Penalty-reading searches are covered
+    // too: key equality includes the rip-up field's full mutation history
+    // (key.penaltyHistory), and equal history from an empty field means
+    // equal contents everywhere.
+    const bool skipWalk = opts_.trustChangedRegions &&
+                          changedRegionsMiss(prev->footprint);
+    if (skipWalk || footprintMatches(prev->footprint, net, extra, t2b)) {
+      if (skipWalk) counters_.verifySkips->add(1);
+      opts_.memo->countHit();
+      // Move, don't copy: the host's slot is dead once the cursor passed
+      // it, and a footprint is the size of the searched area.
+      SearchMemoEntry entry = std::move(*prev);
+      std::optional<AStarResult> result = entry.result;
+      opts_.memo->commit(net, std::move(entry));
+      return result;
+    }
+  }
+  opts_.memo->countMiss();
+  noteDiverged(net);
+  SearchMemoEntry entry;
+  entry.key = std::move(key);
+  engine_.setFootprintRecorder(&entry.footprint);
+  std::optional<AStarResult> res =
+      engine_.route(net, sources, targets, opts_.astar, extra, t2b);
+  engine_.setFootprintRecorder(nullptr);
+  if (res) noteChanged(pathBounds(res->path));
+  entry.result = res;
+  opts_.memo->commit(net, std::move(entry));
+  return res;
 }
 
 int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
@@ -169,13 +320,14 @@ int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
       }
       return n;
     };
-    const int baseline =
-        nearOwn(decomposeLayer(windowFrags(false), grid_->rules()));
+    const int baseline = nearOwn(
+        *decomposeLayerShared(windowFrags(false), grid_->rules(),
+                              internalDecomposeOpts()));
     auto conflictsUnder = [&](Color c) {
       g.setColor(net.id, c);
-      const LayerDecomposition d =
-          decomposeLayer(windowFrags(true), grid_->rules());
-      return std::max(0, nearOwn(d) - baseline);
+      const auto d = decomposeLayerShared(
+          windowFrags(true), grid_->rules(), internalDecomposeOpts());
+      return std::max(0, nearOwn(*d) - baseline);
     };
 
     const Color base = original == Color::Unassigned ? Color::Core : original;
@@ -195,12 +347,12 @@ int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
 
 bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
   NetRouteState& st = states_[net.id];
-  if (freshPenaltyField) ripUpField_.clear();
+  if (freshPenaltyField) clearRipUpField();
 
   for (int attempt = 0; attempt <= opts_.maxRipUp; ++attempt) {
     const bool usePenalty = !freshPenaltyField || attempt > 0;
-    auto res = engine_.route(
-        net.id, net.source.candidates, net.target.candidates, opts_.astar,
+    auto res = memoSearch(
+        net.id, net.source.candidates, net.target.candidates,
         usePenalty ? &ripUpField_ : nullptr,
         opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
     if (!res) return false;
@@ -218,8 +370,8 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     // Steiner). A tap that cannot reach the tree fails the whole attempt.
     bool tapsOk = true;
     for (const Pin& tap : net.taps) {
-      auto tres = engine_.route(
-          net.id, tap.candidates, st.path, opts_.astar,
+      auto tres = memoSearch(
+          net.id, tap.candidates, st.path,
           usePenalty ? &ripUpField_ : nullptr,
           opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
       if (!tres) {
@@ -238,7 +390,10 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       return false;
     }
 
-    AddNetResult add = model_.addNet(net.id, st.path);
+    AddNetResult add = [&] {
+      SADP_SPAN_ARG("router.add_net", net.id);
+      return model_.addNet(net.id, st.path);
+    }();
     bool reject = false;
     if (add.hardViolation) {
       if (opts_.acceptHardViolations) {
@@ -250,6 +405,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       }
     }
     if (!reject) {
+      SADP_SPAN_ARG("router.color_net", net.id);
       if (opts_.naiveColoring) {
         model_.firstFitColor(net.id);
       } else {
@@ -264,7 +420,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
         reject = true;
         counters_.banRejects->add(1);
         for (const GridNode& n : st.path) {
-          ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
+          addRipUpPenalty(n, opts_.ripUpPenalty * 0.5f);
         }
       }
     }
@@ -273,7 +429,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       counters_.cutRejects->add(1);
       // Penalize the whole path region lightly to push the next try away.
       for (const GridNode& n : st.path) {
-        ripUpField_.add(n, opts_.ripUpPenalty * 0.5f);
+        addRipUpPenalty(n, opts_.ripUpPenalty * 0.5f);
       }
     }
     if (reject) {
@@ -314,6 +470,9 @@ RoutingStats OverlayAwareRouter::run() {
   SADP_SPAN("router.run");
   stats_ = RoutingStats{};
   stats_.totalNets = int(netlist_->size());
+  changedBoxes_.clear();
+  divergedNoted_.assign(netlist_->size(), 0);
+  for (const Rect& r : opts_.changedSeed) noteChanged(r);
   std::vector<const Net*> order;
   order.reserve(netlist_->size());
   for (const Net& net : netlist_->nets) order.push_back(&net);
@@ -363,17 +522,18 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
     // attempted reroute/teardown, not only kept ones, because a failed
     // reroute still re-colors the restored net).
     bool dirty = false;
-    std::vector<LayerDecomposition> snapshots(std::size_t(grid_->layers()));
+    std::vector<std::shared_ptr<const LayerDecomposition>> snapshots(
+        std::size_t(grid_->layers()));
     parallelFor(*ctx_, grid_->layers(), [&](int l) {
       SADP_SPAN_ARG("repair.snapshot_layer", l);
-      snapshots[std::size_t(l)] = decompose(l);
+      snapshots[std::size_t(l)] = decomposeShared(l);
     });
     for (int layer = 0; layer < grid_->layers(); ++layer) {
-      const LayerDecomposition full =
-          dirty ? decompose(layer) : std::move(snapshots[std::size_t(layer)]);
-      std::vector<Rect> boxes = full.conflictBoxesNm;
-      boxes.insert(boxes.end(), full.hardOverlayBoxesNm.begin(),
-                   full.hardOverlayBoxesNm.end());
+      const std::shared_ptr<const LayerDecomposition> full =
+          dirty ? decomposeShared(layer) : snapshots[std::size_t(layer)];
+      std::vector<Rect> boxes = full->conflictBoxesNm;
+      boxes.insert(boxes.end(), full->hardOverlayBoxesNm.begin(),
+                   full->hardOverlayBoxesNm.end());
       if (boxes.empty()) continue;
       OverlayConstraintGraph& g = model_.graph(layer);
       for (const Rect& boxNm : boxes) {
@@ -388,7 +548,9 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
             if (fc == Color::Unassigned) fc = Color::Core;
             frags.push_back({f, fc});
           }
-          const OverlayReport r = decomposeLayer(frags, rules).report;
+          const OverlayReport r =
+              decomposeLayerShared(frags, rules, internalDecomposeOpts())
+                  ->report;
           return r.cutConflicts() + r.hardOverlays;
         };
         int current = localViolations();
@@ -472,9 +634,9 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
   std::vector<int> remainingPerLayer(std::size_t(grid_->layers()), 0);
   parallelFor(*ctx_, grid_->layers(), [&](int layer) {
     SADP_SPAN_ARG("repair.signoff_layer", layer);
-    const LayerDecomposition d = decompose(layer);
+    const auto d = decomposeShared(layer);
     remainingPerLayer[std::size_t(layer)] =
-        d.report.cutConflicts() + d.report.hardOverlays;
+        d->report.cutConflicts() + d->report.hardOverlays;
   });
   int remaining = 0;
   for (const int r : remainingPerLayer) remaining += r;
@@ -505,7 +667,8 @@ bool OverlayAwareRouter::rerouteAway(const Net& net, const Rect& avoidTr,
         frags.push_back({f, fc});
       }
       const OverlayReport r =
-          decomposeLayer(frags, grid_->rules()).report;
+          decomposeLayerShared(frags, grid_->rules(), internalDecomposeOpts())
+              ->report;
       total += r.cutConflicts() + r.hardOverlays;
     }
     return total;
@@ -513,10 +676,10 @@ bool OverlayAwareRouter::rerouteAway(const Net& net, const Rect& avoidTr,
   const int before = localViol();
 
   tearDownNet(net);
-  ripUpField_.clear();
+  clearRipUpField();
   for (Track y = avoidTr.ylo; y < avoidTr.yhi; ++y) {
     for (Track x = avoidTr.xlo; x < avoidTr.xhi; ++x) {
-      ripUpField_.add({x, y, std::int16_t(layer)}, 25.0f * opts_.ripUpPenalty);
+      addRipUpPenalty({x, y, std::int16_t(layer)}, 25.0f * opts_.ripUpPenalty);
     }
   }
   if (routeNet(net, /*freshPenaltyField=*/false)) {
@@ -572,7 +735,16 @@ LayerDecomposition OverlayAwareRouter::decompose(
     int layer, const DecomposeOptions& opts) const {
   DecomposeOptions o = opts;
   if (o.ctx == nullptr) o.ctx = ctx_;
+  if (o.cache == nullptr) o.cache = opts_.maskCache;
   return decomposeLayer(coloredFragments(layer), grid_->rules(), o);
+}
+
+std::shared_ptr<const LayerDecomposition> OverlayAwareRouter::decomposeShared(
+    int layer, const DecomposeOptions& opts) const {
+  DecomposeOptions o = opts;
+  if (o.ctx == nullptr) o.ctx = ctx_;
+  if (o.cache == nullptr) o.cache = opts_.maskCache;
+  return decomposeLayerShared(coloredFragments(layer), grid_->rules(), o);
 }
 
 OverlayReport OverlayAwareRouter::physicalReport(
@@ -584,7 +756,7 @@ OverlayReport OverlayAwareRouter::physicalReport(
   std::vector<OverlayReport> perLayer(std::size_t(grid_->layers()));
   parallelFor(*ctx_, grid_->layers(), [&](int layer) {
     SADP_SPAN_ARG("report.layer", layer);
-    perLayer[std::size_t(layer)] = decompose(layer, opts).report;
+    perLayer[std::size_t(layer)] = decomposeShared(layer, opts)->report;
   });
   OverlayReport total;
   for (const OverlayReport& r : perLayer) total += r;

@@ -16,16 +16,19 @@
 // decomposition after routing is the sign-off measurement.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "color/flipping.hpp"
 #include "netlist/netlist.hpp"
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
+#include "route/route_memo.hpp"
 #include "sadp/decompose.hpp"
 
 namespace sadp {
 
+class MaskCache;
 class RunContext;
 
 struct RouterOptions {
@@ -56,6 +59,27 @@ struct RouterOptions {
   /// of the residual conflicts at ~4% routability cost; off by default
   /// because routability is the paper's headline metric.
   bool sacrificeForZeroConflicts = false;
+  /// Verified A*-search memoization host for incremental ECO replay
+  /// (route/route_memo.hpp). Null = no memoization; results are
+  /// byte-identical either way by construction.
+  RouteMemo* memo = nullptr;
+  /// Replay fast path: trust changedSeed/prevNetBoxes to cover every grid
+  /// cell whose state differs from the run the memo recorded. A recorded
+  /// search whose probed bbox misses every changed region (the router
+  /// grows the set as the replay diverges) then skips per-cell
+  /// verification; the key comparison still applies. Off = always walk
+  /// the footprint; results are byte-identical either way.
+  bool trustChangedRegions = false;
+  /// A-priori changed regions in track space (the ECO edit's dirty box:
+  /// old/new pin cells plus the edited net's previous extent).
+  std::vector<Rect> changedSeed;
+  /// Previous run's extent (pins + committed path) per current NetId,
+  /// noted as changed the first time that net's replay diverges. Empty
+  /// rects for nets without history (e.g. freshly added).
+  std::vector<Rect> prevNetBoxes;
+  /// Shared decomposition cache applied to every decomposeLayer the router
+  /// issues (cut-conflict windows, repair probes, sign-off). Null = off.
+  MaskCache* maskCache = nullptr;
 };
 
 struct NetRouteState {
@@ -94,6 +118,8 @@ class OverlayAwareRouter {
   const RoutingGrid& grid() const { return *grid_; }
   const std::vector<NetRouteState>& netStates() const { return states_; }
   const RoutingStats& stats() const { return stats_; }
+  /// Memo hits accepted via the changed-region fast path this run.
+  std::int64_t verifySkips() const { return counters_.verifySkips->value(); }
 
   /// Colored fragments of one layer for mask synthesis / reporting.
   std::vector<ColoredFragment> coloredFragments(int layer) const;
@@ -101,6 +127,9 @@ class OverlayAwareRouter {
   /// Full-chip decomposition of one layer (sign-off measurement).
   LayerDecomposition decompose(int layer,
                                const DecomposeOptions& opts = {}) const;
+  /// Copy-free variant: cache hits hand back the resident plane.
+  std::shared_ptr<const LayerDecomposition> decomposeShared(
+      int layer, const DecomposeOptions& opts = {}) const;
   /// Aggregate physical report over all layers.
   OverlayReport physicalReport(const DecomposeOptions& opts = {}) const;
 
@@ -113,6 +142,33 @@ class OverlayAwareRouter {
 
  private:
   bool routeNet(const Net& net, bool freshPenaltyField = true);
+  /// engine_.route() behind the optional RouteMemo: on a verified
+  /// footprint match the recorded result is reused without searching.
+  std::optional<AStarResult> memoSearch(NetId net,
+                                        std::span<const GridNode> sources,
+                                        std::span<const GridNode> targets,
+                                        const PenaltyField* extra,
+                                        const T2bField* t2b);
+  /// True when every recorded read matches current grid / field state.
+  bool footprintMatches(const SearchFootprint& fp, NetId net,
+                        const PenaltyField* extra, const T2bField* t2b) const;
+  /// Marks a track-space region as possibly differing from the run the
+  /// memo recorded (inflated by the T2b mark reach). No-op unless
+  /// opts_.trustChangedRegions.
+  void noteChanged(const Rect& trBox);
+  /// First divergence of `net` this run: its previous-run extent
+  /// (opts_.prevNetBoxes) becomes stale state for later footprints.
+  void noteDiverged(NetId net);
+  /// True when fp's probed bbox misses every changed region, i.e. the
+  /// per-cell footprint walk is provably redundant.
+  bool changedRegionsMiss(const SearchFootprint& fp) const;
+  /// All rip-up field mutations go through these so ripUpHistoryHash_
+  /// tracks the exact event sequence (SearchMemoKey::penaltyHistory).
+  void addRipUpPenalty(const GridNode& n, float delta);
+  void clearRipUpField();
+  /// DecomposeOptions for router-internal decomposeLayer calls: binds
+  /// ctx_ and the shared mask cache.
+  DecomposeOptions internalDecomposeOpts() const;
   /// Rips up a routed net and re-routes it away from `avoidTr` (track box
   /// on `layer`); restores the old route if no better one is found.
   bool rerouteAway(const Net& net, const Rect& avoidTr, int layer);
@@ -141,6 +197,7 @@ class OverlayAwareRouter {
     Counter* repairFlips;
     Counter* repairReroutes;
     Counter* repairSacrifices;
+    Counter* verifySkips;
   };
 
   RoutingGrid* grid_;
@@ -154,6 +211,12 @@ class OverlayAwareRouter {
   T2bField t2bField_;
   std::vector<NetRouteState> states_;
   RoutingStats stats_;
+  /// Regions whose grid state may differ from the memo-recorded run
+  /// (track space, T2b halo already applied). Only grows within a run.
+  std::vector<Rect> changedBoxes_;
+  std::vector<char> divergedNoted_;  ///< per-net: prevNetBoxes noted
+  /// Running hash of every ripUpField_ mutation since construction.
+  std::uint64_t ripUpHistoryHash_ = 0;
 };
 
 }  // namespace sadp

@@ -92,6 +92,13 @@ void RunContext::setCostHints(const CostHints& h) {
   hintNsPerSetPx_.store(h.nsPerSetPx, std::memory_order_relaxed);
 }
 
+void RunContext::resetForRun() {
+  metrics_->reset();
+  trace_->clear();
+  scratchArena_.reset();
+  graphArena_.reset();
+}
+
 RunContext& RunContext::defaultContext() {
   static RunContext* ctx = new RunContext(DefaultTag{});  // leaked
   return *ctx;

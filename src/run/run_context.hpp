@@ -97,6 +97,15 @@ class RunContext {
   Arena& scratchArena() { return scratchArena_; }
   Arena& graphArena() { return graphArena_; }
 
+  /// Restores the context to a fresh-run state: zeroes every counter and
+  /// histogram, drops trace aggregates/events, and reclaims both arenas.
+  /// Only valid between runs -- no work may be in flight under this
+  /// context, no ArenaScope open, and nothing allocated from graphArena
+  /// may still be referenced (a long-lived service session calls this
+  /// before each replay so per-request metrics start at zero and the
+  /// previous replay's OCG storage is reclaimed instead of accreting).
+  void resetForRun();
+
   /// The process-default context: wraps MetricsRegistry::instance() and
   /// TraceSink::defaultSink(), honors setParallelThreads(). What unbound
   /// threads and pre-context call sites resolve to.

@@ -1,5 +1,7 @@
 #include "sadp/decompose.hpp"
 
+#include "sadp/mask_cache.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -251,9 +253,9 @@ Rect bridgeBox(const Rect& a, const Rect& b) {
 
 }  // namespace
 
-LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
-                                  const DesignRules& rules,
-                                  const DecomposeOptions& opts) {
+static LayerDecomposition decomposeLayerUncached(
+    std::span<const ColoredFragment> frags, const DesignRules& rules,
+    const DecomposeOptions& opts) {
   RunContext& ctx = opts.ctx ? *opts.ctx : RunContext::current();
   RunContext::Scope bindCtx(ctx);
   SADP_SPAN_ARG("decompose", std::int64_t(frags.size()));
@@ -615,6 +617,54 @@ LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
   out.assists = std::move(assists);
   out.bridges = std::move(bridges);
   return out;
+}
+
+std::shared_ptr<const LayerDecomposition> decomposeLayerShared(
+    std::span<const ColoredFragment> frags, const DesignRules& rules,
+    const DecomposeOptions& opts) {
+  if (opts.cache == nullptr) {
+    return std::make_shared<const LayerDecomposition>(
+        decomposeLayerUncached(frags, rules, opts));
+  }
+  RunContext& ctx = opts.ctx ? *opts.ctx : RunContext::current();
+  const MaskCacheKey key = maskCacheKey(frags, rules, opts);
+  if (std::shared_ptr<const LayerDecomposition> hit = opts.cache->lookup(key)) {
+    ctx.metrics().counter("mask_cache.hits").add(1);
+    return hit;
+  }
+  ctx.metrics().counter("mask_cache.misses").add(1);
+  return opts.cache->insert(key,
+                            decomposeLayerUncached(frags, rules, opts));
+}
+
+LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
+                                  const DesignRules& rules,
+                                  const DecomposeOptions& opts) {
+  if (opts.cache == nullptr) {
+    return decomposeLayerUncached(frags, rules, opts);  // move, no copy
+  }
+  return *decomposeLayerShared(frags, rules, opts);
+}
+
+std::uint64_t maskFingerprint(const LayerDecomposition& d) {
+  // FNV-1a fold over the per-plane fingerprints plus the window box; any
+  // single-bit mask difference flips it (up to hash collisions).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Bitmap* b :
+       {&d.target, &d.coreMask, &d.spacer, &d.cut, &d.assists, &d.bridges}) {
+    fold(fingerprint(*b));
+  }
+  fold(std::uint64_t(std::uint32_t(d.windowNm.xlo)));
+  fold(std::uint64_t(std::uint32_t(d.windowNm.ylo)));
+  fold(std::uint64_t(std::uint32_t(d.windowNm.xhi)));
+  fold(std::uint64_t(std::uint32_t(d.windowNm.yhi)));
+  return h;
 }
 
 Bitmap narrowGapFlags(const Bitmap& cut, const Bitmap& target, int minGapPx) {

@@ -21,6 +21,7 @@
 // predicts overlays; this module measures them on real mask geometry.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,8 @@
 #include "sadp/bitmap.hpp"
 
 namespace sadp {
+
+class MaskCache;  // sadp/mask_cache.hpp
 
 /// How the tiled morphology bands are assigned to workers. Either mode
 /// produces byte-identical planes, reports, and metric counter totals --
@@ -113,6 +116,10 @@ struct DecomposeOptions {
   /// Run context the decomposition reports metrics/spans into and draws
   /// parallel workers from; null = the calling thread's bound context.
   RunContext* ctx = nullptr;
+  /// Optional shared result cache (sadp/mask_cache.hpp). A hit returns a
+  /// byte-identical plane without recomputation; a miss computes and
+  /// inserts. Hit/miss land on the ctx counters mask_cache.hits/.misses.
+  MaskCache* cache = nullptr;
 };
 
 /// Synthesizes and measures one layer. Fragments are in track coordinates
@@ -121,6 +128,19 @@ struct DecomposeOptions {
 LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                                   const DesignRules& rules,
                                   const DecomposeOptions& opts = {});
+
+/// Copy-free variant for read-only consumers: a cache hit hands back the
+/// resident plane instead of deep-copying megabytes of bitmaps (the warm
+/// ECO path does hundreds of windowed lookups per edit).
+std::shared_ptr<const LayerDecomposition> decomposeLayerShared(
+    std::span<const ColoredFragment> frags, const DesignRules& rules,
+    const DecomposeOptions& opts = {});
+
+/// Order-sensitive 64-bit digest over all six mask planes and the window
+/// box — the byte-identity witness the ECO correctness bar compares
+/// (service sessions report it per layer; the fuzz suite equates ECO
+/// replays with cold routes through it).
+std::uint64_t maskFingerprint(const LayerDecomposition& d);
 
 /// Metal rectangle (nm) of a fragment under the given rules.
 Rect fragmentMetalNm(const Fragment& f, const DesignRules& rules);

@@ -1,0 +1,383 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sadp {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : s_(text), err_(err) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue v;
+    if (!parseValue(v, 0)) return std::nullopt;
+    skipWs();
+    if (pos_ != s_.size()) {
+      fail("trailing garbage");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const char* why) {
+    if (err_ != nullptr && err_->empty()) {
+      *err_ = std::string(why) + " at byte " + std::to_string(pos_);
+    }
+  }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"': {
+        std::string str;
+        if (!parseString(str)) return false;
+        out = JsonValue(std::move(str));
+        return true;
+      }
+      case 't':
+        if (literal("true")) {
+          out = JsonValue(true);
+          return true;
+        }
+        break;
+      case 'f':
+        if (literal("false")) {
+          out = JsonValue(false);
+          return true;
+        }
+        break;
+      case 'n':
+        if (literal("null")) {
+          out = JsonValue(nullptr);
+          return true;
+        }
+        break;
+      default:
+        return parseNumber(out);
+    }
+    fail("invalid value");
+    return false;
+  }
+
+  bool parseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object obj;
+    skipWs();
+    if (eat('}')) {
+      out = JsonValue(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !parseString(key)) {
+        fail("expected object key");
+        return false;
+      }
+      skipWs();
+      if (!eat(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      obj.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      fail("expected ',' or '}'");
+      return false;
+    }
+    out = JsonValue(std::move(obj));
+    return true;
+  }
+
+  bool parseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array arr;
+    skipWs();
+    if (eat(']')) {
+      out = JsonValue(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      fail("expected ',' or ']'");
+      return false;
+    }
+    out = JsonValue(std::move(arr));
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + std::size_t(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= unsigned(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= unsigned(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= unsigned(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode (surrogates pass through as-is; the protocol
+            // never emits them).
+            if (cp < 0x80) {
+              out += char(cp);
+            } else if (cp < 0x800) {
+              out += char(0xc0 | (cp >> 6));
+              out += char(0x80 | (cp & 0x3f));
+            } else {
+              out += char(0xe0 | (cp >> 12));
+              out += char(0x80 | ((cp >> 6) & 0x3f));
+              out += char(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string");
+        return false;
+      }
+      out += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("invalid number");
+      return false;
+    }
+    const std::size_t firstDigit = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (s_[firstDigit] == '0' && pos_ - firstDigit > 1) {
+      fail("leading zero");
+      return false;
+    }
+    bool isFloat = false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      isFloat = true;
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("invalid number");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      isFloat = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("invalid number");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (!isFloat) {
+      std::int64_t iv = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        out = JsonValue(iv);
+        return true;
+      }
+      // Integer overflow: fall through to double.
+    }
+    double dv = 0.0;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      fail("invalid number");
+      return false;
+    }
+    out = JsonValue(dv);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* err_;
+};
+
+void writeEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", unsigned(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void writeValue(std::string& out, const JsonValue& v) {
+  if (v.isNull()) {
+    out += "null";
+  } else if (v.isBool()) {
+    out += v.asBool() ? "true" : "false";
+  } else if (v.isInt()) {
+    out += std::to_string(v.asInt());
+  } else if (v.isDouble()) {
+    const double d = v.asDouble();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no inf/nan
+    }
+  } else if (v.isString()) {
+    writeEscaped(out, v.asString());
+  } else if (v.isArray()) {
+    out += '[';
+    bool first = true;
+    for (const JsonValue& e : v.asArray()) {
+      if (!first) out += ',';
+      first = false;
+      writeValue(out, e);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : v.asObject()) {
+      if (!first) out += ',';
+      first = false;
+      writeEscaped(out, k);
+      out += ':';
+      writeValue(out, e);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string* err) {
+  if (err != nullptr) err->clear();
+  Parser p(text, err);
+  auto v = p.run();
+  if (!v && err != nullptr && err->empty()) *err = "parse error";
+  return v;
+}
+
+std::string writeJson(const JsonValue& v) {
+  std::string out;
+  writeValue(out, v);
+  return out;
+}
+
+}  // namespace sadp

@@ -1,0 +1,86 @@
+// Minimal JSON value + parser/serializer for the service's line-delimited
+// protocol (DESIGN.md §5.11). Scope is deliberately small: the protocol is
+// machine-generated NDJSON, so the parser favors strictness and structured
+// errors over leniency. Objects preserve insertion order (responses print
+// fields in a stable, documented order); integers that fit int64 parse
+// exactly (no double round-trip for fingerprints or coordinates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace sadp {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(int i) : v_(std::int64_t(i)) {}
+  JsonValue(std::int64_t i) : v_(i) {}
+  JsonValue(std::uint64_t i) : v_(std::int64_t(i)) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool isBool() const { return std::holds_alternative<bool>(v_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool isDouble() const { return std::holds_alternative<double>(v_); }
+  bool isNumber() const { return isInt() || isDouble(); }
+  bool isString() const { return std::holds_alternative<std::string>(v_); }
+  bool isArray() const { return std::holds_alternative<Array>(v_); }
+  bool isObject() const { return std::holds_alternative<Object>(v_); }
+
+  bool asBool() const { return std::get<bool>(v_); }
+  std::int64_t asInt() const {
+    return isDouble() ? std::int64_t(std::get<double>(v_))
+                      : std::get<std::int64_t>(v_);
+  }
+  double asDouble() const {
+    return isInt() ? double(std::get<std::int64_t>(v_))
+                   : std::get<double>(v_);
+  }
+  const std::string& asString() const { return std::get<std::string>(v_); }
+  const Array& asArray() const { return std::get<Array>(v_); }
+  const Object& asObject() const { return std::get<Object>(v_); }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (!isObject()) return nullptr;
+    for (const auto& [k, v] : asObject()) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Builder: appends a member (caller guarantees this is an object).
+  void set(std::string key, JsonValue value) {
+    std::get<Object>(v_).emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Array, Object>
+      v_;
+};
+
+/// Parses one complete JSON document; the whole input must participate
+/// (trailing non-whitespace is an error). On failure returns nullopt and,
+/// when `err` is non-null, a one-line reason with byte offset.
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* err = nullptr);
+
+/// Compact single-line serialization (no spaces, keys in stored order).
+std::string writeJson(const JsonValue& v);
+
+}  // namespace sadp

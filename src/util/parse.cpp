@@ -1,0 +1,44 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+
+namespace sadp {
+
+std::optional<std::int64_t> parseStrictInt64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  // Reject forms std::stoll would quietly accept: leading whitespace,
+  // '+' signs, hex prefixes. A token is a digit string with at most one
+  // leading '-'.
+  std::size_t i = 0;
+  if (s[0] == '-') i = 1;
+  if (i == s.size()) return std::nullopt;
+  for (std::size_t j = i; j < s.size(); ++j) {
+    if (!std::isdigit(static_cast<unsigned char>(s[j]))) return std::nullopt;
+  }
+  errno = 0;
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(s, &pos);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return std::int64_t(v);
+}
+
+std::optional<int> parseStrictInt(const std::string& s) {
+  const auto v = parseStrictInt64(s);
+  if (!v || *v < INT_MIN || *v > INT_MAX) return std::nullopt;
+  return int(*v);
+}
+
+std::optional<int> parseStrictIntIn(const std::string& s, int lo, int hi) {
+  const auto v = parseStrictInt(s);
+  if (!v || *v < lo || *v > hi) return std::nullopt;
+  return v;
+}
+
+}  // namespace sadp

@@ -1,0 +1,28 @@
+// Strict scalar parsing shared by every CLI-facing surface (sadp_route_cli
+// option parsing, the service daemon's option and protocol parsing).
+//
+// atoi-style parsing silently truncates ("--jobs 2x" -> 2, "--port 1e9"
+// -> 1), which is exactly how a typo'd flag corrupts a run; these helpers
+// accept a token only when the ENTIRE token is a base-10 integer that fits
+// the requested range, and report failure instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sadp {
+
+/// Parses `s` as a base-10 integer. The whole string must participate
+/// (no trailing junk, no leading junk beyond an optional sign/whitespace
+/// rejected too: the token must start with a digit or '-'). Returns
+/// nullopt on empty input, trailing garbage, or overflow of int64.
+std::optional<std::int64_t> parseStrictInt64(const std::string& s);
+
+/// parseStrictInt64 narrowed to int; nullopt when out of int range.
+std::optional<int> parseStrictInt(const std::string& s);
+
+/// Range-checked form: value must lie in [lo, hi].
+std::optional<int> parseStrictIntIn(const std::string& s, int lo, int hi);
+
+}  // namespace sadp

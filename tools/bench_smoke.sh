@@ -31,7 +31,9 @@ if [ ! -x "$cli" ]; then
   exit 1
 fi
 scratch=$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")
-trap 'rm -rf "$scratch"' EXIT
+serve_pid=
+trap 'if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi
+      rm -rf "$scratch"' EXIT
 job_a="--seed-demo 36 --width 110 --height 110 --threads 2"
 job_b="--seed-demo 28 --width 95 --height 95 --threads 2"
 # shellcheck disable=SC2086  # word-splitting the option strings is intended
@@ -76,6 +78,37 @@ for f in "$scratch"/sched1*.masks; do
 done
 echo "bench_smoke: --schedule dynamic mask planes byte-identical to static/serial"
 
+# Service gate: the routing daemon's warm ECO path must earn its keep.
+# A scripted client loads a design, measures cold full-route latency,
+# then drives random move_pin edits; the memoized replay must push warm
+# edit throughput to at least 3x the cold baseline or the gate fails.
+# Refreshes BENCH_service.json (edits/sec, p50/p99, cache counters).
+serve="$build_dir/tools/sadp_route_serve"
+if [ ! -x "$serve" ]; then
+  echo "bench_smoke: $serve not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+serve_sock="$scratch/bench_serve.sock"
+"$serve" --socket "$serve_sock" --workers 1 >/dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$serve_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "bench_smoke: service socket never appeared" >&2
+                        exit 1; }
+  sleep 0.1
+done
+python3 "$repo_root/tools/service_client.py" --socket "$serve_sock" bench \
+  --nets 240 --width 160 --height 160 --seed 4 --cold-iters 5 --edits 40 \
+  --min-speedup 3 --out "$repo_root/BENCH_service.json" >/dev/null
+wait "$serve_pid" || {
+  echo "bench_smoke: service daemon exited uncleanly" >&2
+  exit 1
+}
+serve_pid=
+echo "bench_smoke: warm ECO edits >= 3x cold route throughput;" \
+     "updated $repo_root/BENCH_service.json"
+
 # Sanitizer gate: rebuild the fuzz-labelled equivalence suites (bucket vs
 # heap A*, scalar vs AVX2 bitmap kernels) under AddressSanitizer in a
 # throwaway build dir. Arena/bump-pointer bugs show up as ASan reports
@@ -88,6 +121,7 @@ if [ "${BENCH_SMOKE_SKIP_ASAN:-0}" != "1" ]; then
     -DCMAKE_BUILD_TYPE= >/dev/null
   cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_astar_equiv test_bitmap_simd test_schedule_fuzz \
+    test_service_fuzz \
     >/dev/null
   (cd "$asan_dir" && ctest -L fuzz --output-on-failure)
   echo "bench_smoke: fuzz label clean under -DSADP_SANITIZE=address"

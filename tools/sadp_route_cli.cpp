@@ -41,7 +41,6 @@
 //                       in job order; the exit code is the worst job's.
 //   --jobs N            concurrent batch jobs (default 1)
 #include <atomic>
-#include <climits>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,6 +57,7 @@
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
+#include "util/parse.hpp"
 
 using namespace sadp;
 
@@ -91,22 +91,17 @@ struct CliArgs {
   std::exit(2);
 }
 
-/// Strict integer option parse: the whole token must be a base-10 integer
-/// that fits an int. atoi's silent truncation ("--jobs 2x" -> 2,
-/// "--width 1e9" -> 1) is exactly how a typo'd batch line would corrupt a
-/// run, so any trailing garbage is a usage error instead.
+/// Strict integer option parse via util/parse.hpp (shared with the service
+/// daemon): the whole token must be a base-10 integer that fits an int.
+/// atoi's silent truncation ("--jobs 2x" -> 2, "--width 1e9" -> 1) is
+/// exactly how a typo'd batch line would corrupt a run, so any trailing
+/// garbage is a usage error instead.
 int parseIntOpt(const char* opt, const std::string& s) {
-  std::size_t pos = 0;
-  long v = 0;
-  try {
-    v = std::stol(s, &pos);
-  } catch (...) {
-    pos = 0;
-  }
-  if (s.empty() || pos != s.size() || v < INT_MIN || v > INT_MAX) {
+  const std::optional<int> v = parseStrictInt(s);
+  if (!v) {
     usage((std::string(opt) + " wants an integer, got '" + s + "'").c_str());
   }
-  return int(v);
+  return *v;
 }
 
 /// Parses one job's options. `batchFile`/`jobs` are only accepted at the

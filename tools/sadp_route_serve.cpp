@@ -1,0 +1,81 @@
+// sadp_route_serve: the routing-as-a-service daemon (DESIGN.md §5.11).
+//
+//   sadp_route_serve --socket /tmp/sadp.sock
+//   sadp_route_serve --port 0            # loopback TCP, ephemeral port
+//
+// Speaks line-delimited JSON (one request object per line, one response
+// per line): ops load / route / edit / query / stats / shutdown. See
+// README.md "Routing service" for the protocol and tools/service_client.py
+// for a reference client.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/server.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "sadp_route_serve: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: sadp_route_serve [--socket PATH] [--port N] [--workers N]\n"
+      "                        [--queue-depth N] [--session-cap N]\n"
+      "                        [--request-timeout-ms N] [--cache-mb N]\n"
+      "                        [--metrics FILE]\n"
+      "  --socket PATH          listen on a Unix socket at PATH\n"
+      "  --port N               listen on loopback TCP port N (0 = pick an\n"
+      "                         ephemeral port; the port is printed)\n"
+      "  --workers N            worker threads (default 2)\n"
+      "  --queue-depth N        bounded request queue capacity (default 64)\n"
+      "  --session-cap N        max resident sessions (default 8)\n"
+      "  --request-timeout-ms N default queue-wait deadline (default 30000)\n"
+      "  --cache-mb N           mask-cache byte budget in MiB (default 256)\n"
+      "  --metrics FILE         write the run-metrics JSON to FILE on exit\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sadp::ServerOptions opts;
+  auto needValue = [&](int i) -> std::string {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[i + 1];
+  };
+  auto intOpt = [&](int i, int lo, int hi) -> int {
+    const std::optional<int> v = sadp::parseStrictIntIn(needValue(i), lo, hi);
+    if (!v) usage((std::string(argv[i]) + ": bad integer value").c_str());
+    return *v;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") {
+      opts.socketPath = needValue(i++);
+    } else if (a == "--port") {
+      opts.port = intOpt(i++, 0, 65535);
+    } else if (a == "--workers") {
+      opts.workers = intOpt(i++, 1, 256);
+    } else if (a == "--queue-depth") {
+      opts.queueDepth = intOpt(i++, 1, 1 << 20);
+    } else if (a == "--session-cap") {
+      opts.sessionCap = intOpt(i++, 1, 1 << 20);
+    } else if (a == "--request-timeout-ms") {
+      opts.requestTimeoutMs = intOpt(i++, 0, 1 << 30);
+    } else if (a == "--cache-mb") {
+      opts.cacheBytes = std::size_t(intOpt(i++, 1, 1 << 20)) << 20;
+    } else if (a == "--metrics") {
+      opts.metricsPath = needValue(i++);
+    } else if (a == "--help" || a == "-h") {
+      usage("help");
+    } else {
+      usage(("unknown option: " + a).c_str());
+    }
+  }
+  if (opts.socketPath.empty() && opts.port < 0) {
+    usage("pick a listener: --socket PATH and/or --port N");
+  }
+  sadp::RouteServer server(std::move(opts));
+  return server.serve();
+}

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Reference client for the sadp_route_serve NDJSON protocol.
+
+Modes:
+  req    send one request (--json or stdin), print the response line;
+         exit 0 on ok:true, 1 otherwise. --expect-error CODE inverts the
+         check: exit 0 iff the response is the structured error CODE.
+  drive  forward every stdin line as a request, print every response.
+  bench  load a session, measure cold full-route throughput and warm ECO
+         edit latency (p50/p99), emit a BENCH_service.json-shaped report.
+
+Connection: --socket PATH (Unix) or --port N (loopback TCP).
+"""
+
+import argparse
+import json
+import random
+import socket
+import sys
+import time
+
+
+def connect(args):
+    if args.socket:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(args.socket)
+    elif args.port is not None:
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.connect(("127.0.0.1", args.port))
+    else:
+        sys.exit("service_client: pick --socket PATH or --port N")
+    return s.makefile("rw", encoding="utf-8")
+
+
+def roundtrip(f, obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    line = f.readline()
+    if not line:
+        sys.exit("service_client: connection closed by server")
+    return json.loads(line)
+
+
+def send_raw(f, text):
+    f.write(text + "\n")
+    f.flush()
+    line = f.readline()
+    if not line:
+        sys.exit("service_client: connection closed by server")
+    return json.loads(line)
+
+
+def cmd_req(args):
+    payload = args.json if args.json is not None else sys.stdin.read()
+    f = connect(args)
+    if args.raw:
+        resp = send_raw(f, payload.rstrip("\n"))
+    else:
+        resp = roundtrip(f, json.loads(payload))
+    print(json.dumps(resp, separators=(",", ":")))
+    if args.expect_error:
+        code = (resp.get("error") or {}).get("code")
+        return 0 if not resp.get("ok") and code == args.expect_error else 1
+    return 0 if resp.get("ok") else 1
+
+
+def cmd_drive(args):
+    f = connect(args)
+    status = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        resp = send_raw(f, line)
+        print(json.dumps(resp, separators=(",", ":")))
+        if not resp.get("ok"):
+            status = 1
+    return status
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    i = min(len(sorted_vals) - 1, int(round(p / 100.0 * (len(sorted_vals) - 1))))
+    return sorted_vals[i]
+
+
+def cmd_bench(args):
+    f = connect(args)
+    load = {
+        "op": "load",
+        "session": "bench",
+        "nets": args.nets,
+        "width": args.width,
+        "height": args.height,
+        "seed": args.seed,
+        "layers": args.layers,
+    }
+    if args.benchmark:
+        load = {"op": "load", "session": "bench", "benchmark": args.benchmark}
+        if args.scale:
+            load["scale"] = args.scale
+    r = roundtrip(f, load)
+    if not r.get("ok"):
+        sys.exit("service_client: load failed: %s" % r)
+    nets = r["nets"]
+
+    # Cold baseline: a second session of the same design, opted out of the
+    # shared mask cache ({"cache":false}) -- each `route` also clears the
+    # session's memo store, so every iteration is exactly what a
+    # standalone tool does: full search plus full decomposition.
+    cold_load = dict(load)
+    cold_load["session"] = "bench_cold"
+    cold_load["cache"] = False
+    r = roundtrip(f, cold_load)
+    if not r.get("ok"):
+        sys.exit("service_client: cold load failed: %s" % r)
+    cold_ms = []
+    first = None
+    for _ in range(args.cold_iters):
+        t0 = time.monotonic()
+        r = roundtrip(f, {"op": "route", "session": "bench_cold"})
+        cold_ms.append((time.monotonic() - t0) * 1e3)
+        if not r.get("ok"):
+            sys.exit("service_client: route failed: %s" % r)
+        first = r
+
+    # Prime the warm session once so the first edit replays, not routes.
+    # Cached and uncached sessions must agree byte for byte.
+    r = roundtrip(f, {"op": "route", "session": "bench"})
+    if not r.get("ok"):
+        sys.exit("service_client: warm route failed: %s" % r)
+    if first and r["design_fp"] != first["design_fp"]:
+        sys.exit("service_client: cached/uncached design_fp diverge: %s vs %s"
+                 % (r["design_fp"], first["design_fp"]))
+
+    # Warm ECO loop: scripted local move_pin edits. Real ECOs nudge a pin
+    # a few tracks, they don't teleport it across the die -- so fetch the
+    # current pin positions once and move each chosen pin by a small
+    # random delta, tracking positions locally as edits land.
+    q = roundtrip(f, {"op": "query", "session": "bench", "pins": True})
+    if not q.get("ok"):
+        sys.exit("service_client: query failed: %s" % q)
+    pin_map = {e["name"]: e["pins"] for e in q["net_pins"]}
+    names = sorted(pin_map)
+
+    rng = random.Random(args.seed)
+    edit_ms = []
+    memo_hits = searches = dirty = 0
+    for i in range(args.edits):
+        name = names[rng.randrange(len(names))]
+        idx = rng.randrange(len(pin_map[name]))
+        x, y, layer = pin_map[name][idx]
+        nx = min(args.width - 1, max(0, x + rng.randint(-1, 1)))
+        ny = min(args.height - 1, max(0, y + rng.randint(-1, 1)))
+        pin_map[name][idx] = [nx, ny, layer]
+        req = {
+            "op": "edit",
+            "session": "bench",
+            "kind": "move_pin",
+            "net": name,
+            "pin_index": idx,
+            "pin": [nx, ny, layer],
+        }
+        t0 = time.monotonic()
+        r = roundtrip(f, req)
+        edit_ms.append((time.monotonic() - t0) * 1e3)
+        if not r.get("ok"):
+            sys.exit("service_client: edit %d failed: %s" % (i, r))
+        memo_hits += r["memo_hits"]
+        searches += r["searches"]
+        dirty += r["nets_dirty"]
+
+    stats = roundtrip(f, {"op": "stats", "session": "bench"})
+    roundtrip(f, {"op": "shutdown"})
+
+    cold_ms.sort()
+    edit_ms.sort()
+    cold_mean = sum(cold_ms) / len(cold_ms)
+    edit_mean = sum(edit_ms) / len(edit_ms)
+    # Gate on p50: on shared machines scheduler noise only ever ADDS time,
+    # and it lands in the tails -- medians are the stable estimator of the
+    # true warm/cold ratio. The mean-based figure stays in the report.
+    cold_p50 = percentile(cold_ms, 50)
+    edit_p50 = percentile(edit_ms, 50)
+    report = {
+        "bench": "service_eco",
+        "design": {"nets": nets, "width": args.width, "height": args.height,
+                   "layers": args.layers, "seed": args.seed},
+        "cold_route": {
+            "iters": len(cold_ms),
+            "mean_ms": round(cold_mean, 3),
+            "p50_ms": round(percentile(cold_ms, 50), 3),
+            "p99_ms": round(percentile(cold_ms, 99), 3),
+            "routes_per_sec": round(1e3 / cold_mean, 2),
+        },
+        "warm_edit": {
+            "iters": len(edit_ms),
+            "mean_ms": round(edit_mean, 3),
+            "p50_ms": round(percentile(edit_ms, 50), 3),
+            "p99_ms": round(percentile(edit_ms, 99), 3),
+            "edits_per_sec": round(1e3 / edit_mean, 2),
+            "memo_hits": memo_hits,
+            "real_searches": searches,
+            "avg_nets_dirty": round(dirty / max(1, len(edit_ms)), 2),
+        },
+        "speedup_warm_over_cold": round(cold_p50 / edit_p50, 2),
+        "speedup_warm_over_cold_mean": round(cold_mean / edit_mean, 2),
+        "cache": stats.get("cache", {}),
+        "counters": stats.get("counters", {}),
+        "cold_csv": first.get("csv") if first else None,
+    }
+    out = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(out)
+    sys.stdout.write(out)
+    if args.min_speedup and report["speedup_warm_over_cold"] < args.min_speedup:
+        sys.exit(
+            "service_client: warm/cold speedup %.2f below required %.2f"
+            % (report["speedup_warm_over_cold"], args.min_speedup)
+        )
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", help="Unix socket path")
+    ap.add_argument("--port", type=int, help="loopback TCP port")
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    p = sub.add_parser("req")
+    p.add_argument("--json", help="request object (default: stdin)")
+    p.add_argument("--raw", action="store_true",
+                   help="send --json verbatim without validating it locally")
+    p.add_argument("--expect-error",
+                   help="succeed iff the response is this error code")
+    p.set_defaults(fn=cmd_req)
+
+    p = sub.add_parser("drive")
+    p.set_defaults(fn=cmd_drive)
+
+    p = sub.add_parser("bench")
+    p.add_argument("--benchmark", help="paper benchmark name (Test1..)")
+    p.add_argument("--scale", type=float, default=0.0)
+    p.add_argument("--nets", type=int, default=240)
+    p.add_argument("--width", type=int, default=160)
+    p.add_argument("--height", type=int, default=160)
+    p.add_argument("--layers", type=int, default=3)
+    p.add_argument("--seed", type=int, default=4)
+    p.add_argument("--cold-iters", type=int, default=5)
+    p.add_argument("--edits", type=int, default=40)
+    p.add_argument("--out", help="also write the JSON report here")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail unless warm/cold speedup reaches this")
+    p.set_defaults(fn=cmd_bench)
+
+    args = ap.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
