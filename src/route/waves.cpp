@@ -1,0 +1,42 @@
+#include "route/waves.hpp"
+
+namespace sadp {
+
+WavePlan planWaves(std::span<const Rect> boxes, Track minGapTracks) {
+  WavePlan plan;
+  plan.waveOf.assign(boxes.size(), 0);
+  // Members per wave: the scan only ever compares a candidate against
+  // earlier members of one wave, so vectors of positions are all the
+  // graph representation needed.
+  std::vector<std::vector<int>> members;
+  // Inflating one side by the full gap is symmetric for axis-aligned
+  // boxes: a.inflated(g) overlaps b iff the axis gaps are both < g. The
+  // empty check must come first -- inflation makes an empty box concrete.
+  const auto conflict = [&](const Rect& a, const Rect& b) {
+    if (a.empty() || b.empty()) return false;
+    return a.inflated(minGapTracks).overlaps(b);
+  };
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    int wave = -1;
+    for (std::size_t w = 0; w < members.size() && wave < 0; ++w) {
+      bool ok = true;
+      for (const int j : members[w]) {
+        if (conflict(boxes[i], boxes[std::size_t(j)])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) wave = int(w);
+    }
+    if (wave < 0) {
+      wave = int(members.size());
+      members.emplace_back();
+    }
+    members[std::size_t(wave)].push_back(int(i));
+    plan.waveOf[i] = wave;
+  }
+  plan.waveCount = int(members.size());
+  return plan;
+}
+
+}  // namespace sadp

@@ -1,0 +1,42 @@
+// Wave planning for speculative parallel net routing (DESIGN.md §5.12).
+//
+// The paper's independence distance (Thm 1, d_indep = sqrt(2) * (w_line +
+// 2*w_spacer) ~= 84.85 nm) bounds how far one fragment's scenario
+// relations reach, so two nets whose extents stay farther apart than
+// d_indep cannot contend for grid cells, overlay scenarios, or T2b marks.
+// The planner partitions nets into such "waves": an overlap graph over
+// d_indep-inflated net bounding boxes, colored greedily in canonical net
+// order. The router uses a wave as a batch of searches it may run
+// concurrently ahead of the commit frontier; the plan is a scheduling
+// hint only -- commit-time footprint verification, not wave disjointness,
+// is what guarantees byte-identical results (route/router.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace sadp {
+
+/// A wave assignment: one dense wave id per input position.
+struct WavePlan {
+  std::vector<int> waveOf;  ///< wave id of each input box, by position
+  int waveCount = 0;        ///< ids are dense: 0 .. waveCount - 1
+};
+
+/// Greedy coloring of the overlap graph over `minGapTracks`-inflated
+/// boxes, scanning positions in input order: each item joins the
+/// lowest-numbered wave containing no conflicting member, opening a new
+/// wave when every existing one conflicts. Two items conflict when their
+/// boxes come within `minGapTracks` of each other in both axes (i.e. one
+/// box inflated by the gap overlaps the other); empty boxes conflict with
+/// nothing. Scanning in input order makes wave 0 the greedy maximal
+/// independent set of all items, wave 1 the greedy MIS of the remainder,
+/// and so on -- and makes the plan a pure function of (boxes,
+/// minGapTracks): no hash containers, no threading, so the result is
+/// identical across thread counts, allocation states and repeated calls.
+/// O(n^2) pairwise box checks.
+WavePlan planWaves(std::span<const Rect> boxes, Track minGapTracks);
+
+}  // namespace sadp

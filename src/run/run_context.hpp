@@ -79,6 +79,15 @@ class RunContext {
   int reserveExtraWorkers(int want);
   void releaseExtraWorkers(int n);
 
+  /// Width for a nested fan-out of `want` concurrent items launched from
+  /// work running under this context: 1 .. min(want, threadCount()).
+  /// A caller hosting its own child context for an inner parallel stage
+  /// (the router's speculative wave batches) sizes that context with this
+  /// so the nested loop reuses the run's configured worker budget instead
+  /// of a fresh env-derived default; the process-wide reservation pool
+  /// still bounds how many extra workers actually materialize.
+  int fanOutWidth(int want) const;
+
   /// Scheduler cost hints consumed by weight-scheduled passes (the
   /// dynamic band scheduler of decomposeLayer). Install between runs:
   /// the two fields are stored as independent relaxed atomics, so a

@@ -115,6 +115,8 @@ void addOutcome(JsonValue& r, const RouteOutcome& o) {
   r.set("searches", o.searches);
   r.set("memo_hits", o.memoHits);
   r.set("verify_skips", o.verifySkips);
+  r.set("wave_spec_hits", o.waveSpecHits);
+  r.set("wave_spec_misses", o.waveSpecMisses);
   r.set("cache_hits", o.cacheHits);
   r.set("cache_misses", o.cacheMisses);
   r.set("nets_dirty", o.netsDirty);
@@ -548,7 +550,18 @@ JsonValue RouteServer::handleLoad(const JsonValue& req,
       c != nullptr && c->isBool() && !c->asBool()) {
     cache = nullptr;
   }
-  auto session = std::make_shared<Session>(name, spec, cache);
+  // {"route_jobs":N} opts the session into wave-parallel routing (both
+  // the initial full route and every ECO replay take the same wave path);
+  // results are byte-identical to the serial default by construction.
+  RouterOptions routerOpts;
+  if (const auto v = intField(req, "route_jobs"); v) {
+    if (*v < 1) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request", "route_jobs must be >= 1");
+    }
+    routerOpts.routeJobs = int(*v);
+  }
+  auto session = std::make_shared<Session>(name, spec, cache, routerOpts);
   if (const auto v = intField(req, "threads"); v && *v > 0) {
     session->setThreads(int(*v));
   }

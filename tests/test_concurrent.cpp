@@ -35,9 +35,9 @@ struct RunArtifacts {
   friend bool operator==(const RunArtifacts&, const RunArtifacts&) = default;
 };
 
-RunArtifacts runPipeline(const BenchmarkSpec& spec) {
+RunArtifacts runPipeline(const BenchmarkSpec& spec, int threads = 2) {
   RunContext ctx;
-  ctx.setThreadCount(2);
+  ctx.setThreadCount(threads);
   ctx.setTraceLevel(TraceLevel::Aggregate);
   RunContext::Scope bind(ctx);
 
@@ -94,6 +94,28 @@ TEST(ConcurrentIsolation, TwoConcurrentFullRunsMatchSerialExecution) {
   EXPECT_EQ(serialB.spanCounts, concurrentB.spanCounts);
   EXPECT_EQ(serialB.maskFingerprints, concurrentB.maskFingerprints);
   EXPECT_EQ(serialB.csvRow, concurrentB.csvRow);
+}
+
+TEST(ConcurrentIsolation, ThreadBudgetOfOneInsideMultiContextPool) {
+  // Degenerate budget: one context pinned to a single thread while a
+  // sibling context fans out in the same process. The 1-thread run must
+  // neither borrow workers from the global pool (its parallel loops are
+  // inline by contract) nor be perturbed by the sibling's traffic -- its
+  // artifacts match the same 1-thread run executed alone.
+  const BenchmarkSpec specA = paperBenchmark("Test1").scaled(0.05);
+  const BenchmarkSpec specB = paperBenchmark("Test2").scaled(0.04);
+
+  const RunArtifacts serialNarrow = runPipeline(specA, /*threads=*/1);
+  const RunArtifacts serialWide = runPipeline(specB, /*threads=*/3);
+
+  RunArtifacts narrow, wide;
+  std::thread tn([&] { narrow = runPipeline(specA, /*threads=*/1); });
+  std::thread tw([&] { wide = runPipeline(specB, /*threads=*/3); });
+  tn.join();
+  tw.join();
+
+  EXPECT_EQ(serialNarrow, narrow);
+  EXPECT_EQ(serialWide, wide);
 }
 
 TEST(ConcurrentIsolation, SameDesignConcurrentlyTwiceIsDeterministic) {

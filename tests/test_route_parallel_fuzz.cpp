@@ -1,0 +1,156 @@
+// Serial-vs-parallel routing equivalence fuzz gate (ctest label `fuzz`,
+// DESIGN.md §5.12): wave-parallel routing may change WHO executes each
+// attempt-0 A* search -- the sequential loop, or speculative workers
+// running ahead of the commit frontier -- but never WHAT is committed.
+// Every seeded design routes at routeJobs 1 (the untouched serial loop),
+// 2 and 8, and the runs must agree byte-for-byte on per-layer mask
+// fingerprints, rasterToNmRects output, every net's committed route, the
+// overlay report, the CSV report row, and the FULL metric counter
+// snapshot (histograms included). Span aggregates are exempt by design:
+// like `parallel.steal`, the wave spans and the astar.route span count
+// depend on who ran a search, not on what was routed. Run under
+// -DSADP_SANITIZE=thread the same trials race-check the speculation
+// fan-out against the frozen router state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/benchmark.hpp"
+#include "route/router.hpp"
+#include "run/run_context.hpp"
+#include "sadp/bitmap.hpp"
+#include "util/parallel_for.hpp"
+
+namespace sadp {
+namespace {
+
+/// Seeded random design. Sizes span tiny (every net in one wave's reach)
+/// to moderate (many independent waves), with occasional multi-candidate
+/// pins and heavier blockage -- the regimes where speculation hit rate
+/// actually varies.
+BenchmarkSpec fuzzSpec(std::uint32_t seed) {
+  std::mt19937 rng(seed * 2654435761u + 97u);
+  BenchmarkSpec s;
+  s.name = "rpf" + std::to_string(seed);
+  s.netCount = 8 + int(rng() % 29);       // 8 .. 36
+  s.width = Track(32 + int(rng() % 25));  // 32 .. 56
+  s.height = Track(32 + int(rng() % 25));
+  s.seed = std::uint64_t(seed) * 31 + 7;
+  if (rng() % 3 == 0) s.pinCandidates = 2;
+  return s;
+}
+
+/// Everything one routed run must reproduce byte-for-byte.
+struct RouteDigest {
+  std::vector<std::uint64_t> planes;       ///< 4 mask planes per layer
+  std::vector<std::vector<Rect>> cutRects; ///< rasterToNmRects per layer
+  std::vector<std::vector<GridNode>> paths;  ///< committed route per net
+  std::vector<char> routed;
+  OverlayReport report;
+  std::string csvRow;
+  std::vector<CounterSample> counters;
+  std::vector<std::pair<std::string, std::int64_t>> histTotals;
+  std::int64_t specHits = 0;
+  std::int64_t specMisses = 0;
+};
+
+RouteDigest routeOnce(const BenchmarkSpec& spec, int routeJobs, int threads) {
+  RunContext ctx;
+  ctx.setThreadCount(threads);
+  BenchmarkInstance inst = makeBenchmark(spec);
+  RouterOptions ro;
+  ro.routeJobs = routeJobs;
+  OverlayAwareRouter router(inst.grid, inst.netlist, ro, &ctx);
+  const RoutingStats stats = router.run();
+  const OverlayReport report = router.physicalReport();
+
+  RouteDigest out;
+  for (int layer = 0; layer < inst.grid.layers(); ++layer) {
+    const LayerDecomposition d = router.decompose(layer);
+    out.planes.push_back(fingerprint(d.target));
+    out.planes.push_back(fingerprint(d.coreMask));
+    out.planes.push_back(fingerprint(d.spacer));
+    out.planes.push_back(fingerprint(d.cut));
+    out.cutRects.push_back(rasterToNmRects(d.cut, d.windowNm));
+  }
+  for (const NetRouteState& st : router.netStates()) {
+    out.paths.push_back(st.path);
+    out.routed.push_back(st.routed ? 1 : 0);
+  }
+  out.report = report;
+  // The sadp_route_cli CSV row shape (cpuSeconds-free fields only).
+  std::ostringstream csv;
+  csv << stats.totalNets << ',' << stats.routedNets << ','
+      << stats.routability() << ',' << stats.wirelength << ',' << stats.vias
+      << ',' << stats.ripUps << ',' << report.sideOverlayNm << ','
+      << report.cutConflicts() << ',' << report.hardOverlays;
+  out.csvRow = csv.str();
+  out.counters = ctx.metrics().counterSnapshot();
+  for (const std::string& name : ctx.metrics().histogramNames()) {
+    const Histogram* h = ctx.metrics().findHistogram(name);
+    out.histTotals.emplace_back(name, h->count());
+    out.histTotals.emplace_back(name + ".sum", h->sum());
+  }
+  out.specHits = router.waveSpecHits();
+  out.specMisses = router.waveSpecMisses();
+  return out;
+}
+
+void expectSameDigest(const RouteDigest& got, const RouteDigest& ref,
+                      const std::string& what) {
+  EXPECT_EQ(got.planes, ref.planes) << what;
+  EXPECT_EQ(got.cutRects, ref.cutRects) << what;
+  EXPECT_EQ(got.routed, ref.routed) << what;
+  EXPECT_EQ(got.paths, ref.paths) << what;
+  EXPECT_TRUE(got.report == ref.report) << what;
+  EXPECT_EQ(got.csvRow, ref.csvRow) << what;
+  EXPECT_EQ(got.histTotals, ref.histTotals) << what;
+  ASSERT_EQ(got.counters.size(), ref.counters.size()) << what;
+  for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+    EXPECT_EQ(got.counters[i].first, ref.counters[i].first) << what;
+    EXPECT_EQ(got.counters[i].second, ref.counters[i].second)
+        << what << " counter " << ref.counters[i].first;
+  }
+}
+
+TEST(RouteParallelFuzz, SerialAndWaveRoutingByteIdentical) {
+  // Open the process-wide worker pool: on a 1-CPU CI host the default
+  // budget would run every speculation batch inline (still correct --
+  // that IS the 1-CPU behavior); an explicit 8 makes workers real so the
+  // TSan build exercises the concurrent searches.
+  setParallelThreads(8);
+  std::int64_t totalSpecHits = 0;
+  for (std::uint32_t seed = 1; seed <= 100; ++seed) {
+    const BenchmarkSpec spec = fuzzSpec(seed);
+    const std::string what = "seed=" + std::to_string(seed) + " nets=" +
+                             std::to_string(spec.netCount);
+    const RouteDigest serial = routeOnce(spec, 1, 2);
+    EXPECT_EQ(serial.specHits + serial.specMisses, 0) << what;  // no waves
+    const RouteDigest jobs2 = routeOnce(spec, 2, 2);
+    expectSameDigest(jobs2, serial, what + " jobs=2");
+    const RouteDigest jobs8 = routeOnce(spec, 8, 8);
+    expectSameDigest(jobs8, serial, what + " jobs=8");
+    totalSpecHits += jobs2.specHits + jobs8.specHits;
+    if (HasFatalFailure()) break;
+  }
+  // Equivalence must come from verified speculation, not from the wave
+  // path silently never engaging.
+  EXPECT_GT(totalSpecHits, 0);
+  setParallelThreads(0);
+}
+
+TEST(RouteParallelFuzz, WaveRoutingUnderOneThreadBudgetMatchesSerial) {
+  // The 1-CPU CI shape: routeJobs asks for speculation but the context
+  // budget is 1, so every batch runs inline on the caller. Output must
+  // still be byte-identical -- including counters.
+  const BenchmarkSpec spec = fuzzSpec(7);
+  const RouteDigest serial = routeOnce(spec, 1, 1);
+  expectSameDigest(routeOnce(spec, 8, 1), serial, "jobs=8 threads=1");
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,160 @@
+// Property tests for the wave planner (route/waves.hpp, ctest label
+// `fuzz`). planWaves is a scheduling hint -- committed routing never
+// depends on it for correctness -- but the speculation hit rate and the
+// serial/parallel equivalence fuzz gates do depend on its contract:
+//
+//   1. every box is assigned to exactly one wave, ids dense in
+//      [0, waveCount);
+//   2. no two non-empty boxes in the same wave come within minGapTracks
+//      of each other on BOTH axes (the Theorem 1 independence shape);
+//   3. the plan is the canonical-order greedy coloring: a pure function
+//      of (boxes, gap), independent of thread budget, hash-map iteration
+//      order (it uses none), and repeated invocation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "route/waves.hpp"
+#include "util/parallel_for.hpp"
+
+namespace sadp {
+namespace {
+
+std::vector<Rect> randomBoxes(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> nPick(0, 40), xy(0, 90), wh(1, 12);
+  std::bernoulli_distribution makeEmpty(0.1);
+  std::vector<Rect> boxes;
+  const int n = nPick(rng);
+  for (int i = 0; i < n; ++i) {
+    if (makeEmpty(rng)) {
+      boxes.push_back(Rect{});  // net with no placed candidates
+      continue;
+    }
+    const Track x = Track(xy(rng)), y = Track(xy(rng));
+    boxes.push_back(Rect{x, y, x + Track(wh(rng)), y + Track(wh(rng))});
+  }
+  return boxes;
+}
+
+/// Independence test straight from the definition, bypassing Rect
+/// inflation entirely: two boxes conflict iff both axis gaps are < gap.
+/// (A negative gap is overlap.)
+bool tooClose(const Rect& a, const Rect& b, Track gap) {
+  if (a.empty() || b.empty()) return false;
+  const Track dx = std::max(a.xlo - b.xhi, b.xlo - a.xhi);
+  const Track dy = std::max(a.ylo - b.yhi, b.ylo - a.yhi);
+  return dx < gap && dy < gap;
+}
+
+TEST(WavePlanner, EveryBoxAssignedExactlyOnceToADenseWaveId) {
+  for (std::uint32_t seed = 1; seed <= 200; ++seed) {
+    const std::vector<Rect> boxes = randomBoxes(seed);
+    const WavePlan plan = planWaves(boxes, 3);
+    ASSERT_EQ(plan.waveOf.size(), boxes.size()) << "seed=" << seed;
+    std::vector<int> perWave(std::size_t(std::max(plan.waveCount, 1)), 0);
+    for (const int w : plan.waveOf) {
+      ASSERT_GE(w, 0) << "seed=" << seed;
+      ASSERT_LT(w, plan.waveCount) << "seed=" << seed;
+      ++perWave[std::size_t(w)];
+    }
+    // Dense ids: no empty wave (greedy only opens a wave to place a box).
+    if (!boxes.empty()) {
+      for (int w = 0; w < plan.waveCount; ++w) {
+        EXPECT_GT(perWave[std::size_t(w)], 0)
+            << "seed=" << seed << " empty wave " << w;
+      }
+    } else {
+      EXPECT_EQ(plan.waveCount, 0) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(WavePlanner, SameWaveBoxesAreIndependentAtTheGap) {
+  for (std::uint32_t seed = 1; seed <= 200; ++seed) {
+    const std::vector<Rect> boxes = randomBoxes(seed);
+    for (const Track gap : {Track(1), Track(3), Track(7)}) {
+      const WavePlan plan = planWaves(boxes, gap);
+      for (std::size_t i = 0; i < boxes.size(); ++i) {
+        for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+          if (plan.waveOf[i] != plan.waveOf[j]) continue;
+          EXPECT_FALSE(tooClose(boxes[i], boxes[j], gap))
+              << "seed=" << seed << " gap=" << gap << " boxes " << i
+              << " and " << j << " share wave " << plan.waveOf[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(WavePlanner, MatchesTheCanonicalOrderGreedyOracle) {
+  // Independent re-statement of the contract: scan boxes in input order,
+  // join the lowest-numbered wave with no member too close, else open a
+  // new wave. Any change to planWaves that keeps "waves are independent"
+  // but breaks THIS tie-breaking would silently change which searches
+  // get speculated -- legal for outputs, but a determinism-contract break
+  // the fuzz gates want to catch loudly.
+  for (std::uint32_t seed = 1; seed <= 200; ++seed) {
+    const std::vector<Rect> boxes = randomBoxes(seed);
+    const Track gap = Track(1 + int(seed % 5));
+    std::vector<int> oracle(boxes.size(), -1);
+    int waves = 0;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      for (int w = 0; w < waves && oracle[i] < 0; ++w) {
+        bool ok = true;
+        for (std::size_t j = 0; j < i && ok; ++j) {
+          ok = oracle[j] != w || !tooClose(boxes[i], boxes[j], gap);
+        }
+        if (ok) oracle[i] = w;
+      }
+      if (oracle[i] < 0) oracle[i] = waves++;
+    }
+    const WavePlan plan = planWaves(boxes, gap);
+    EXPECT_EQ(plan.waveOf, oracle) << "seed=" << seed << " gap=" << gap;
+    EXPECT_EQ(plan.waveCount, waves) << "seed=" << seed << " gap=" << gap;
+  }
+}
+
+TEST(WavePlanner, DeterministicAcrossCallsAndThreadBudgets) {
+  const std::vector<Rect> boxes = randomBoxes(42);
+  const WavePlan ref = planWaves(boxes, 3);
+  // planWaves is serial by contract; the worker-pool setting must be
+  // invisible to it (the plan feeds cross-thread-count equivalence gates).
+  for (const int threads : {0, 1, 8}) {
+    setParallelThreads(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      const WavePlan got = planWaves(boxes, 3);
+      EXPECT_EQ(got.waveOf, ref.waveOf) << "threads=" << threads;
+      EXPECT_EQ(got.waveCount, ref.waveCount) << "threads=" << threads;
+    }
+  }
+  setParallelThreads(0);
+}
+
+TEST(WavePlanner, EmptyBoxesConflictWithNothing) {
+  // A net with no placed candidates has an empty pin bbox. Inflating an
+  // empty Rect produces a concrete box near the origin, so a naive
+  // "inflate then overlap" would glue such nets to origin-adjacent nets.
+  // They must instead always join wave 0.
+  const Rect origin{0, 0, 4, 4};
+  const std::vector<Rect> boxes = {origin, Rect{}, Rect{}, origin};
+  const WavePlan plan = planWaves(boxes, 3);
+  EXPECT_EQ(plan.waveOf[1], 0);
+  EXPECT_EQ(plan.waveOf[2], 0);
+  // The two identical concrete boxes DO conflict.
+  EXPECT_NE(plan.waveOf[0], plan.waveOf[3]);
+  EXPECT_EQ(plan.waveOf[0], 0);
+}
+
+TEST(WavePlanner, NoBoxesYieldsNoWaves) {
+  const WavePlan plan = planWaves({}, 3);
+  EXPECT_TRUE(plan.waveOf.empty());
+  EXPECT_EQ(plan.waveCount, 0);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -78,6 +78,25 @@ for f in "$scratch"/sched1*.masks; do
 done
 echo "bench_smoke: --schedule dynamic mask planes byte-identical to static/serial"
 
+# Wave-routing gate: speculative wave-parallel routing (--route-jobs) must
+# emit mask planes byte-identical to the serial net-by-net loop -- WHO runs
+# an attempt-0 search must never change WHAT gets committed.
+wave_job="--seed-demo 120 --width 100 --height 100 --threads 4"
+# shellcheck disable=SC2086
+"$cli" $wave_job --route-jobs 1 --masks "$scratch/wave1_" \
+  >/dev/null || [ $? -eq 3 ]
+# shellcheck disable=SC2086
+"$cli" $wave_job --route-jobs 4 --masks "$scratch/wave4_" \
+  >/dev/null || [ $? -eq 3 ]
+for f in "$scratch"/wave1*.masks; do
+  twin=$(printf '%s' "$f" | sed 's/wave1_/wave4_/')
+  cmp -s "$f" "$twin" || {
+    echo "bench_smoke: --route-jobs output $twin differs from serial $f" >&2
+    exit 1
+  }
+done
+echo "bench_smoke: --route-jobs 4 mask planes byte-identical to serial"
+
 # Service gate: the routing daemon's warm ECO path must earn its keep.
 # A scripted client loads a design, measures cold full-route latency,
 # then drives random move_pin edits; the memoized replay must push warm
@@ -121,7 +140,7 @@ if [ "${BENCH_SMOKE_SKIP_ASAN:-0}" != "1" ]; then
     -DCMAKE_BUILD_TYPE= >/dev/null
   cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_astar_equiv test_bitmap_simd test_schedule_fuzz \
-    test_service_fuzz \
+    test_service_fuzz test_wave_planner test_route_parallel_fuzz \
     >/dev/null
   (cd "$asan_dir" && ctest -L fuzz --output-on-failure)
   echo "bench_smoke: fuzz label clean under -DSADP_SANITIZE=address"

@@ -18,6 +18,9 @@
 //                       nets on the given grid instead
 //   --threads N         worker threads for parallel passes (overrides the
 //                       SADP_THREADS environment variable)
+//   --route-jobs N      speculative wave-parallel net routing width
+//                       (default 1 = sequential). Any value yields
+//                       byte-identical masks, CSV and counters.
 //   --tile-words N      column-band width (64-px words) of the tiled
 //                       decomposition morphology; 0 = automatic (default),
 //                       negative = whole-window reference path. Any value
@@ -85,7 +88,8 @@ struct CliArgs {
                "       [--layers N] [--svg PREFIX] [--masks PREFIX]\n"
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
-               "       [--tile-words N] [--schedule static|dynamic]\n"
+               "       [--route-jobs N] [--tile-words N]\n"
+               "       [--schedule static|dynamic]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "   or: sadp_route_cli --batch LIST-FILE [--jobs N]\n";
   std::exit(2);
@@ -143,6 +147,11 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
     } else if (opt == "--threads") {
       a.threads = parseIntOpt("--threads", value(i));
       if (a.threads <= 0) usage("--threads wants a positive count");
+    } else if (opt == "--route-jobs") {
+      a.router.routeJobs = parseIntOpt("--route-jobs", value(i));
+      if (a.router.routeJobs <= 0) {
+        usage("--route-jobs wants a positive count");
+      }
     } else if (opt == "--tile-words") {
       a.decompose.tileWords = parseIntOpt("--tile-words", value(i));
     } else if (opt == "--schedule") {
