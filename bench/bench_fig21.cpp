@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "ocg/overlay_model.hpp"
 #include "sadp/svg.hpp"
 

@@ -21,7 +21,8 @@
 #include <string>
 #include <vector>
 
-#include "color/flipping.hpp"
+#include "patterning/backend.hpp"
+#include "patterning/flipping.hpp"
 #include "netlist/benchmark.hpp"
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
@@ -152,6 +153,31 @@ void BM_ColorFlipChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ColorFlipChain)->Arg(256)->Arg(4096);
+
+/// Triple-patterning recolor (DESIGN.md §5.13) on a path-squared chain of
+/// hard must-differ pairs: one connected class-graph component well past
+/// the exhaustive cutoff, so this times the greedy + local-search path —
+/// the k=3 analogue of BM_ColorFlipChain. Colors start all-first-mask, the
+/// worst case the recolorer must untangle every iteration.
+void BM_Flip3Color(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const PatterningBackend& tpl = tpl3Backend();
+  Classification c;
+  c.type = ScenarioType::T1a;
+  for (auto _ : state) {
+    state.PauseTiming();
+    OverlayConstraintGraph g(std::pmr::get_default_resource(), &tpl.spec());
+    for (int v = 1; v < n; ++v) {
+      g.addScenario(v - 1, v, c);
+      if (v >= 2) g.addScenario(v - 2, v, c);
+    }
+    for (int v = 0; v < n; ++v) g.setColor(v, Color::Core);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tpl.recolor(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Flip3Color)->Arg(256)->Arg(4096);
 
 // ---- Bit-packed raster primitives -----------------------------------------
 

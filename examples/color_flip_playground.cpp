@@ -4,7 +4,7 @@
 // color unlocks the resource.
 #include <iostream>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "ocg/overlay_model.hpp"
 
 using namespace sadp;

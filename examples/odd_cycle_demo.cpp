@@ -8,7 +8,7 @@
 // engine solve it with the merge technique and verifies the masks.
 #include <iostream>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "ocg/overlay_model.hpp"
 #include "sadp/svg.hpp"
 

@@ -6,89 +6,6 @@
 
 namespace sadp {
 
-void ParityDsu::grow(std::size_t v) {
-  const std::size_t old = link_.size();
-  link_.resize(v + 1);
-  rank_.resize(v + 1, 0);
-  for (std::size_t i = old; i <= v; ++i) {
-    link_[i] = std::uint32_t(i) << 1;  // self-parent, parity 0
-  }
-}
-
-std::pair<std::size_t, std::uint8_t> ParityDsu::find(std::size_t v) {
-  ensure(v);
-  return findRaw(v);
-}
-
-std::pair<std::size_t, std::uint8_t> ParityDsu::findRaw(std::size_t v) {
-  // Single-pass path halving over a raw pointer, folding the parity of
-  // the skipped hop into the rewritten link. Parity accumulated along the
-  // walk is unaffected by the rewrites (they only touch nodes already
-  // passed), so the returned (root, parity) pair matches the
-  // full-compression reference exactly.
-  std::uint32_t* const links = link_.data();
-  std::uint32_t x = std::uint32_t(v);
-  std::uint32_t par = 0;
-  for (;;) {
-    const std::uint32_t l = links[x];
-    const std::uint32_t p = l >> 1;
-    if (p == x) break;
-    const std::uint32_t lp = links[p];
-    links[x] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);  // grandparent short-cut
-    par ^= l & 1u;
-    x = p;
-  }
-  return {x, std::uint8_t(par)};
-}
-
-bool ParityDsu::unite(std::size_t u, std::size_t v, std::uint8_t rel) {
-  ensure(u > v ? u : v);  // one bounds check instead of one per find
-  // The two root chases are findRaw's loop written out inline: unite is
-  // the hot path of hard-edge insertion and this build ships without
-  // optimization, where a call plus a pair return per find is measurable.
-  std::uint32_t* const links = link_.data();
-  std::uint32_t ru = std::uint32_t(u), pu = 0;
-  for (;;) {
-    const std::uint32_t l = links[ru];
-    const std::uint32_t p = l >> 1;
-    if (p == ru) break;
-    const std::uint32_t lp = links[p];
-    links[ru] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);
-    pu ^= l & 1u;
-    ru = p;
-  }
-  std::uint32_t rv = std::uint32_t(v), pv = 0;
-  for (;;) {
-    const std::uint32_t l = links[rv];
-    const std::uint32_t p = l >> 1;
-    if (p == rv) break;
-    const std::uint32_t lp = links[p];
-    links[rv] = ((lp >> 1) << 1) | ((l ^ lp) & 1u);
-    pv ^= l & 1u;
-    rv = p;
-  }
-  if (ru == rv) return std::uint8_t(pu ^ pv) == rel;
-  std::uint8_t* const ranks = rank_.data();
-  if (ranks[ru] < ranks[rv]) {
-    std::swap(ru, rv);
-    std::swap(pu, pv);
-  }
-  links[rv] = (ru << 1) | ((pu ^ pv ^ rel) & 1u);
-  if (ranks[ru] == ranks[rv]) ++ranks[ru];
-  return true;
-}
-
-bool ParityDsu::contradicts(std::size_t u, std::size_t v, std::uint8_t rel) {
-  auto [ru, pu] = find(u);
-  auto [rv, pv] = find(v);
-  return ru == rv && std::uint8_t(pu ^ pv) != rel;
-}
-
-void ParityDsu::clear() {
-  link_.clear();
-  rank_.clear();
-}
-
 namespace {
 
 /// Whether a hard classification is parity-expressible, and if so which
@@ -123,9 +40,39 @@ std::int64_t OverlayConstraintGraph::findVertex(NetId net) const {
   return it == idx_.end() ? -1 : std::int64_t(it->second);
 }
 
+int OverlayConstraintGraph::hardRelationOf(const Classification& cls) const {
+  if (k_ == 2) {
+    if (!cls.hard()) return -1;
+    const std::optional<std::uint8_t> rel = hardParity(cls);
+    return rel ? int(*rel) : -1;
+  }
+  return (spec_ && spec_->hardRelation) ? spec_->hardRelation(cls) : -1;
+}
+
+void OverlayConstraintGraph::recountDiffViolations() {
+  // k >= 3 invariant: hardViolations_ == number of alive must-differ edges
+  // whose endpoints landed in the same equality class. Unlike the k == 2
+  // monotone counter this is recomputable, which removeNet's rebuild and
+  // class merges rely on.
+  int n = 0;
+  for (std::uint32_t ei : diffEdges_) {
+    const OcgEdge& e = edges_[ei];
+    if (!e.alive) continue;
+    auto [ru, du] = hard_.find(e.u);
+    auto [rv, dv] = hard_.find(e.v);
+    (void)du;
+    (void)dv;
+    if (ru == rv) ++n;
+  }
+  hardViolations_ = n;
+}
+
 bool OverlayConstraintGraph::addScenario(NetId a, NetId b,
                                          const Classification& cls) {
-  if (!cls.material()) return true;
+  const bool material = (k_ == 2 || !spec_ || !spec_->material)
+                            ? cls.material()
+                            : spec_->material(cls);
+  if (!material) return true;
   const std::uint32_t u = vertexFor(a);
   const std::uint32_t v = vertexFor(b);
   OcgEdge e;
@@ -136,6 +83,44 @@ bool OverlayConstraintGraph::addScenario(NetId a, NetId b,
   edges_.push_back(e);
   adj_[u].push_back(std::uint32_t(ei));
   adj_[v].push_back(std::uint32_t(ei));
+  if (k_ > 2) {
+    const int rel = hardRelationOf(cls);
+    if (rel < 0) return true;
+    if (rel == 1) {
+      // Must-differ is not a group relation for k >= 3; track the edge on
+      // the side. It is violated iff its endpoints are (or later become)
+      // equality-constrained.
+      diffEdges_.push_back(std::uint32_t(ei));
+      auto [ru, du] = hard_.find(u);
+      auto [rv, dv] = hard_.find(v);
+      (void)du;
+      (void)dv;
+      if (ru == rv) {
+        ++hardViolations_;
+        return false;
+      }
+      return true;
+    }
+    // rel == 0: merge equality classes (delta 0 never contradicts).
+    auto [ru, du] = hard_.find(u);
+    auto [rv, dv] = hard_.find(v);
+    (void)du;
+    (void)dv;
+    if (ru == rv) return true;
+    const int before = hardViolations_;
+    hard_.unite(u, v, 0);
+    auto [newRoot, nd] = hard_.find(u);
+    (void)nd;
+    const std::uint32_t winner = std::uint32_t(newRoot);
+    const std::uint32_t loser =
+        (winner == ru) ? std::uint32_t(rv) : std::uint32_t(ru);
+    auto& win = classMembers_[winner];
+    auto& lose = classMembers_[loser];
+    win.insert(win.end(), lose.begin(), lose.end());
+    classMembers_.erase(loser);
+    recountDiffViolations();  // the merge may close must-differ edges
+    return hardViolations_ <= before;
+  }
   if (!cls.hard()) return true;
   const std::optional<std::uint8_t> relOpt = hardParity(cls);
   if (!relOpt) return true;  // single-assignment ban: cost-enforced only
@@ -171,7 +156,7 @@ void OverlayConstraintGraph::removeNet(NetId net) {
     OcgEdge& e = edges_[ei];
     if (!e.alive) continue;
     e.alive = false;
-    removedHard |= e.hard();
+    removedHard |= (k_ == 2) ? e.hard() : hardRelationOf(e.cls) >= 0;
     const std::uint32_t other = (e.u == v) ? e.v : e.u;
     auto& oadj = adj_[other];
     oadj.erase(std::remove(oadj.begin(), oadj.end(), ei), oadj.end());
@@ -199,11 +184,25 @@ void OverlayConstraintGraph::rebuildHardStructure() {
   hard_.ensure(nets_.size() == 0 ? 0 : nets_.size() - 1);
   classColor_.clear();
   hardViolations_ = 0;
-  for (const OcgEdge& e : edges_) {
-    if (!e.alive || !e.hard()) continue;
-    const std::optional<std::uint8_t> rel = hardParity(e.cls);
-    if (!rel) continue;
-    if (!hard_.unite(e.u, e.v, *rel)) ++hardViolations_;
+  if (k_ == 2) {
+    for (const OcgEdge& e : edges_) {
+      if (!e.alive || !e.hard()) continue;
+      const std::optional<std::uint8_t> rel = hardParity(e.cls);
+      if (!rel) continue;
+      if (!hard_.unite(e.u, e.v, *rel)) ++hardViolations_;
+    }
+  } else {
+    diffEdges_.clear();
+    for (std::uint32_t ei = 0; ei < edges_.size(); ++ei) {
+      const OcgEdge& e = edges_[ei];
+      if (!e.alive) continue;
+      const int rel = hardRelationOf(e.cls);
+      if (rel == 0) {
+        hard_.unite(e.u, e.v, 0);
+      } else if (rel == 1) {
+        diffEdges_.push_back(ei);
+      }
+    }
   }
   classMembers_.clear();
   for (std::uint32_t v = 0; v < nets_.size(); ++v) {
@@ -218,6 +217,7 @@ void OverlayConstraintGraph::rebuildHardStructure() {
         par ? flippedColor(snapshot[v]) : snapshot[v];
     classColor_[std::uint32_t(root)] = rootColor;  // last write wins
   }
+  if (k_ > 2) recountDiffViolations();
 }
 
 Color OverlayConstraintGraph::classColorOf(std::uint32_t vertex) const {
@@ -246,6 +246,23 @@ std::int64_t OverlayConstraintGraph::costOfAssignment(const OcgEdge& e,
                                                       Color cv) const {
   // Unassigned endpoints take their best case so partially colored layouts
   // are charged optimistically.
+  if (k_ > 2 && spec_ && spec_->pairOverlay) {
+    const int iu = colorIndex(cu);
+    const int iv = colorIndex(cv);
+    std::int64_t best = -1;
+    for (int a = 0; a < k_; ++a) {
+      if (iu >= 0 && a != iu) continue;
+      for (int b = 0; b < k_; ++b) {
+        if (iv >= 0 && b != iv) continue;
+        std::int64_t c = spec_->pairOverlay(e.cls, a, b);
+        if (spec_->pairCutRisk && spec_->pairCutRisk(e.cls, a, b)) {
+          c += kCutRiskPenalty;
+        }
+        if (best < 0 || c < best) best = c;
+      }
+    }
+    return best < 0 ? 0 : best;
+  }
   std::int64_t best = -1;
   for (Color a : {Color::Core, Color::Second}) {
     if (cu != Color::Unassigned && a != cu) continue;
@@ -270,16 +287,20 @@ int OverlayConstraintGraph::edgeOverlayUnits(const OcgEdge& e) const {
   if (cu == Color::Unassigned || cv == Color::Unassigned) {
     return int(std::min<std::int64_t>(costOfAssignment(e, cu, cv), kHardCost));
   }
+  if (k_ > 2 && spec_ && spec_->pairOverlay) {
+    return int(std::min<std::int64_t>(
+        spec_->pairOverlay(e.cls, colorIndex(cu), colorIndex(cv)), kHardCost));
+  }
   return e.cls.overlay[assignmentIndex(cu, cv)];
 }
 
 Color OverlayConstraintGraph::pseudoColor(NetId net) {
   const std::uint32_t v = vertexFor(net);
   auto [root, par] = hard_.find(v);
-  // Evaluate both root colors for the WHOLE hard class of v: cross-class
+  // Evaluate every root color for the WHOLE hard class of v: cross-class
   // edges use the neighbor's current color; intra-class edges (fixed
   // relative parity) still depend on the root color for asymmetric rules.
-  std::int64_t cost[2] = {0, 0};
+  std::int64_t cost[3] = {0, 0, 0};
   auto membersIt = classMembers_.find(std::uint32_t(root));
   const std::vector<std::uint32_t> fallback{v};
   const std::vector<std::uint32_t>& members =
@@ -292,8 +313,8 @@ Color OverlayConstraintGraph::pseudoColor(NetId net) {
       const std::uint32_t other = (e.u == w) ? e.v : e.u;
       auto [ro, po] = hard_.find(other);
       if (ro == root && other < w) continue;  // count intra edges once
-      for (int rc = 0; rc < 2; ++rc) {
-        const Color rootColor = rc == 0 ? Color::Core : Color::Second;
+      for (int rc = 0; rc < k_; ++rc) {
+        const Color rootColor = colorFromIndex(rc);
         const Color wColor = pw ? flippedColor(rootColor) : rootColor;
         const Color otherColor =
             (ro == root) ? (po ? flippedColor(rootColor) : rootColor)
@@ -308,13 +329,19 @@ Color OverlayConstraintGraph::pseudoColor(NetId net) {
   for (std::uint32_t w : members) {
     auto [rw, pw] = hard_.find(w);
     (void)rw;
-    for (int rc = 0; rc < 2; ++rc) {
-      const Color rootColor = rc == 0 ? Color::Core : Color::Second;
+    for (int rc = 0; rc < k_; ++rc) {
+      const Color rootColor = colorFromIndex(rc);
       const Color wColor = pw ? flippedColor(rootColor) : rootColor;
       cost[rc] += priorOf(w, wColor);
     }
   }
-  const Color rootColor = cost[0] <= cost[1] ? Color::Core : Color::Second;
+  // First index wins ties: for k == 2 this is the historical
+  // "cost[0] <= cost[1] ? Core : Second" rule bit for bit.
+  int bestIdx = 0;
+  for (int rc = 1; rc < k_; ++rc) {
+    if (cost[rc] < cost[bestIdx]) bestIdx = rc;
+  }
+  const Color rootColor = colorFromIndex(bestIdx);
   classColor_[std::uint32_t(root)] = rootColor;
   return par ? flippedColor(rootColor) : rootColor;
 }
@@ -325,7 +352,8 @@ Color OverlayConstraintGraph::firstFitColor(NetId net) {
   // first-fit never revisits fixed decisions.
   const Color fixed = classColorOf(v);
   if (fixed != Color::Unassigned) return fixed;
-  for (Color c : {Color::Core, Color::Second}) {
+  for (int ci = 0; ci < k_; ++ci) {
+    const Color c = colorFromIndex(ci);
     setColor(net, c);
     bool legal = true;
     forEachEdgeOf(v, [&](std::size_t ei) {
@@ -333,6 +361,13 @@ Color OverlayConstraintGraph::firstFitColor(NetId net) {
       const Color cu = classColorOf(e.u);
       const Color cv = classColorOf(e.v);
       if (cu == Color::Unassigned || cv == Color::Unassigned) return;
+      if (k_ > 2 && spec_ && spec_->pairOverlay) {
+        if (spec_->pairOverlay(e.cls, colorIndex(cu), colorIndex(cv)) >=
+            kHardCost) {
+          legal = false;
+        }
+        return;
+      }
       if (e.cls.overlay[assignmentIndex(cu, cv)] >= kHardCost) legal = false;
     });
     if (legal) return c;
@@ -354,8 +389,10 @@ void OverlayConstraintGraph::setPrior(NetId net, std::int64_t corePrior,
 std::int64_t OverlayConstraintGraph::priorOf(std::uint32_t vertex,
                                              Color c) const {
   auto it = priors_.find(vertex);
-  if (it == priors_.end() || c == Color::Unassigned) return 0;
-  return it->second[int(c)];
+  if (it == priors_.end()) return 0;
+  const int i = colorIndex(c);
+  if (i < 0 || i > 1) return 0;  // only Core/Second carry priors
+  return it->second[i];
 }
 
 std::int64_t OverlayConstraintGraph::totalOverlayUnits() const {
@@ -405,6 +442,10 @@ int OverlayConstraintGraph::cutRiskCount() const {
     const Color cu = classColorOf(e.u);
     const Color cv = classColorOf(e.v);
     if (cu == Color::Unassigned || cv == Color::Unassigned) continue;
+    if (k_ > 2 && spec_ && spec_->pairCutRisk) {
+      if (spec_->pairCutRisk(e.cls, colorIndex(cu), colorIndex(cv))) ++n;
+      continue;
+    }
     if (e.cls.cutRisk[assignmentIndex(cu, cv)]) ++n;
   }
   return n;

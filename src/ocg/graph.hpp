@@ -16,43 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ocg/group_dsu.hpp"
+#include "ocg/patterning_spec.hpp"
 #include "ocg/scenario.hpp"
 
 namespace sadp {
-
-/// Union-find with parity. Each element carries the XOR of edge parities to
-/// its representative; unite(u, v, rel) enforces color(u) ^ color(v) == rel.
-/// A contradiction (odd cycle over hard edges) makes unite return false.
-class ParityDsu {
- public:
-  /// Ensures element `v` exists.
-  void ensure(std::size_t v) {
-    if (v >= link_.size()) grow(v);
-  }
-  /// Representative of v plus the parity of v relative to it.
-  std::pair<std::size_t, std::uint8_t> find(std::size_t v);
-  /// Merges the classes of u and v with relative parity `rel`.
-  /// Returns false (and leaves the classes merged-consistent only if they
-  /// already were) when the relation contradicts existing constraints.
-  bool unite(std::size_t u, std::size_t v, std::uint8_t rel);
-  /// True if u and v are already constrained to relative parity != `rel`.
-  bool contradicts(std::size_t u, std::size_t v, std::uint8_t rel);
-  void clear();
-  std::size_t size() const { return link_.size(); }
-
- private:
-  void grow(std::size_t v);
-  /// find() without the existence check -- callers must have ensure()d v.
-  std::pair<std::size_t, std::uint8_t> findRaw(std::size_t v);
-
-  /// Packed parent pointers: link_[v] = parent(v) << 1 | parity-to-parent.
-  /// One 32-bit word per element keeps find's pointer chase in a single
-  /// cache stream; roots and parities are identical to the unpacked layout
-  /// (union by rank with the same tie rule), so class representatives --
-  /// and everything keyed on them -- are unchanged.
-  std::vector<std::uint32_t> link_;
-  std::vector<std::uint8_t> rank_;
-};
 
 /// One scenario edge of the constraint graph. `u`/`v` are vertex handles
 /// (dense indices, not NetIds). The cost array is indexed by
@@ -78,10 +46,21 @@ class OverlayConstraintGraph {
   /// Edge and adjacency storage draws from `mem` (DESIGN.md §5.9): the
   /// router passes its RunContext's graph arena so the per-net scenario
   /// churn never touches the global allocator; standalone graphs default
-  /// to the ordinary heap.
+  /// to the ordinary heap. `spec` selects the patterning interpretation of
+  /// scenario edges (DESIGN.md §5.13); null means the classic 2-color
+  /// SADP-cut tables and leaves every code path byte-identical to the
+  /// pre-backend graph.
   explicit OverlayConstraintGraph(
-      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
-      : edges_(mem), adj_(mem) {}
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource(),
+      const PatterningSpec* spec = nullptr)
+      : edges_(mem),
+        adj_(mem),
+        spec_(spec),
+        k_(spec ? spec->colorCount : 2) {}
+
+  /// Number of assignable colors under the active patterning spec.
+  int colorCount() const { return k_; }
+  const PatterningSpec* patterningSpec() const { return spec_; }
 
   /// Returns (creating if needed) the vertex handle for a net.
   std::uint32_t vertexFor(NetId net);
@@ -167,6 +146,13 @@ class OverlayConstraintGraph {
   std::int64_t costOfAssignment(const OcgEdge& e, Color cu, Color cv) const;
   void rebuildHardStructure();
   Color classColorOf(std::uint32_t vertex) const;
+  /// k >= 3 only: recounts must-differ hard edges whose endpoints share an
+  /// equality class (each one is a hard-overlay violation).
+  void recountDiffViolations();
+  /// Hard relation of an edge under the active spec: -1 none, 0 same,
+  /// 1 differ. For k == 2 this is hardParity(); for k >= 3 it defers to
+  /// spec_->hardRelation.
+  int hardRelationOf(const Classification& cls) const;
 
   std::vector<NetId> nets_;                       // vertex -> net
   std::unordered_map<NetId, std::uint32_t> idx_;  // net -> vertex
@@ -174,14 +160,22 @@ class OverlayConstraintGraph {
   /// vertex -> edge indices; inner vectors inherit the outer resource
   /// through polymorphic_allocator's scoped-allocator propagation.
   std::pmr::vector<std::pmr::vector<std::uint32_t>> adj_;
-  mutable ParityDsu hard_;
+  /// Hard structure over Z_k deltas. For k == 2 both relations live here
+  /// (rel 1 = must-differ); for k >= 3 only must-same edges do (delta 0 --
+  /// "differ" is not a group relation) and must-differ edges are tracked in
+  /// diffEdges_, so every class member always has delta 0 to its root.
+  mutable GroupDsu<2> hard_;
+  /// k >= 3 only: indices of alive hard must-differ edges.
+  std::vector<std::uint32_t> diffEdges_;
   /// Color per hard-class representative; vertex color = this ^ parity.
   std::unordered_map<std::uint32_t, Color> classColor_;
   /// Members of each hard class, keyed by representative (kept in sync by
   /// addScenario/rebuild so pseudoColor is O(class degree), not O(V)).
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> classMembers_;
-  /// Optional per-vertex color priors {core, second}.
+  /// Optional per-vertex color priors {core, second}; Third has no prior.
   std::unordered_map<std::uint32_t, std::array<std::int64_t, 2>> priors_;
+  const PatterningSpec* spec_ = nullptr;
+  int k_ = 2;
   int hardViolations_ = 0;
 };
 

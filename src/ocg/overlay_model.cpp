@@ -14,11 +14,12 @@ constexpr Track kNeighborTracks = 3;
 
 OverlayModel::OverlayModel(int layers, Track /*width*/, Track /*height*/,
                            bool mergeTechnique,
-                           std::pmr::memory_resource* mem)
-    : mergeTechnique_(mergeTechnique) {
+                           std::pmr::memory_resource* mem,
+                           const PatterningSpec* spec)
+    : mergeTechnique_(mergeTechnique), spec_(spec) {
   if (!mem) mem = std::pmr::get_default_resource();
   graphs_.reserve(layers);
-  for (int i = 0; i < layers; ++i) graphs_.emplace_back(mem);
+  for (int i = 0; i < layers; ++i) graphs_.emplace_back(mem, spec);
   hits_.resize(layers);
   states_.reserve(layers);
   for (int i = 0; i < layers; ++i) {
@@ -59,9 +60,24 @@ AddNetResult OverlayModel::addNet(NetId net, std::span<const GridNode> path) {
         if (other.net == net) return;
         (void)r;
         const Classification cls = classify(f, other);
-        if (!cls.material()) return;
+        const bool kTwo = !spec_ || spec_->colorCount == 2;
+        const bool material = (kTwo || !spec_->material)
+                                  ? cls.material()
+                                  : spec_->material(cls);
+        if (!material) return;
         const bool ok = g.addScenario(net, other.net, cls);
         if (cls.type == ScenarioType::T2b) ++result.type2bCount;
+        if (!kTwo) {
+          // k >= 3: addScenario already judged the spec's hard relations
+          // (an unsatisfiable must-differ edge makes it return false); the
+          // merge technique is a 2-mask cut-process concept and does not
+          // apply.
+          if (!ok) {
+            result.hardViolation = true;
+            result.hardHits.push_back(ScenarioHit{f, other, layer, cls});
+          }
+          return;
+        }
         if (cls.hard()) {
           // Without the merge technique, hard same-color scenarios (which
           // the cut process satisfies by merging + cutting) are violations.

@@ -40,10 +40,17 @@ class OverlayModel {
   /// merging patterns and separating them with a cut, are then reported as
   /// hard violations instead. `mem`, when non-null, backs the per-layer
   /// constraint graphs' edge/adjacency storage (the router passes its
-  /// RunContext's graph arena); null means the ordinary heap.
+  /// RunContext's graph arena); null means the ordinary heap. `spec`
+  /// selects the patterning interpretation (k colors) of scenario edges;
+  /// null means the classic 2-color SADP-cut tables (DESIGN.md §5.13).
   OverlayModel(int layers, Track width, Track height,
                bool mergeTechnique = true,
-               std::pmr::memory_resource* mem = nullptr);
+               std::pmr::memory_resource* mem = nullptr,
+               const PatterningSpec* spec = nullptr);
+
+  /// Number of assignable colors under the active patterning spec.
+  int colorCount() const { return spec_ ? spec_->colorCount : 2; }
+  const PatterningSpec* patterningSpec() const { return spec_; }
 
   int layers() const { return int(graphs_.size()); }
 
@@ -113,6 +120,7 @@ class OverlayModel {
   std::vector<LayerState> states_;
   std::vector<std::vector<ScenarioHit>> hits_;
   bool mergeTechnique_ = true;
+  const PatterningSpec* spec_ = nullptr;
 };
 
 }  // namespace sadp

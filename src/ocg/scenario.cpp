@@ -12,6 +12,8 @@ const char* toString(Color c) {
       return "C";
     case Color::Second:
       return "S";
+    case Color::Third:
+      return "T";
     default:
       return "?";
   }

@@ -18,14 +18,39 @@
 namespace sadp {
 
 /// Mask assignment of a net segment: printed by the core mask, or formed as
-/// a second pattern by spacers.
-enum class Color : std::uint8_t { Core = 0, Second = 1, Unassigned = 2 };
+/// a second pattern by spacers. `Third` exists only for k>=3 patterning
+/// backends (a third exposure mask); the SADP stack never produces it.
+/// Unassigned keeps value 2 so the packed 2-color tables are untouched.
+enum class Color : std::uint8_t {
+  Core = 0,
+  Second = 1,
+  Unassigned = 2,
+  Third = 3,
+};
 
 const char* toString(Color c);
 constexpr Color flippedColor(Color c) {
   return c == Color::Core ? Color::Second
          : c == Color::Second ? Color::Core
                               : Color::Unassigned;
+}
+
+/// Dense index of an assignable color: Core 0, Second 1, Third 2.
+/// (Distinct from the enum value: Third sorts after Unassigned so the
+/// 2-color code keeps its historical values.) Unassigned maps to -1.
+constexpr int colorIndex(Color c) {
+  switch (c) {
+    case Color::Core: return 0;
+    case Color::Second: return 1;
+    case Color::Third: return 2;
+    default: return -1;
+  }
+}
+constexpr Color colorFromIndex(int i) {
+  return i == 0   ? Color::Core
+         : i == 1 ? Color::Second
+         : i == 2 ? Color::Third
+                  : Color::Unassigned;
 }
 
 /// The eleven dependent geometry classes of Theorem 2 plus `Independent`

@@ -1,4 +1,4 @@
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 
 #include <algorithm>
 #include <cassert>

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "ocg/scenario.hpp"
+#include "patterning/backend.hpp"
 #include "route/waves.hpp"
 #include "run/run_context.hpp"
 #include "trace/metrics.hpp"
@@ -34,6 +35,19 @@ Rect netPinBox(const Net& n) {
     }
   }
   return box;
+}
+
+/// Backend resolution for a null RouterOptions::backend: the context's
+/// configured name (unknown names fall through -- callers validate at the
+/// CLI/service boundary), else the classic SADP backend.
+const PatterningBackend* resolveBackend(const RouterOptions& opts,
+                                        RunContext& ctx) {
+  if (opts.backend != nullptr) return opts.backend;
+  if (const PatterningBackend* b =
+          findPatterningBackend(ctx.patterningBackendName())) {
+    return b;
+  }
+  return &sadp2Backend();
 }
 
 }  // namespace
@@ -115,8 +129,10 @@ OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
       netlist_(&netlist),
       opts_(options),
       ctx_(ctx ? ctx : &RunContext::current()),
+      backend_(resolveBackend(opts_, *ctx_)),
       model_(grid.layers(), grid.width(), grid.height(),
-             options.enableMergeOddCycles, &ctx_->graphArena()),
+             options.enableMergeOddCycles, &ctx_->graphArena(),
+             backend_->graphSpec()),
       engine_(grid, ctx_),
       ripUpField_(grid),
       t2bField_(grid),
@@ -283,6 +299,10 @@ DecomposeOptions OverlayAwareRouter::internalDecomposeOpts() const {
   DecomposeOptions o;
   o.ctx = ctx_;
   o.cache = opts_.maskCache;
+  // The SADP backend's synthId routes to the built-in pipeline and keys
+  // the cache identically to a null synth, so setting it unconditionally
+  // is byte-neutral at k = 2.
+  o.synth = backend_;
   return o;
 }
 
@@ -471,12 +491,20 @@ int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
     const Color base = original == Color::Unassigned ? Color::Core : original;
     int conflicts = conflictsUnder(base);
     if (conflicts > 0) {
-      const int altConflicts = conflictsUnder(flippedColor(base));
-      if (altConflicts < conflicts) {
-        conflicts = altConflicts;  // keep the flipped color
-      } else {
-        g.setColor(net.id, base);
+      // Try every alternative color in index order, keep the best. At
+      // k = 2 this is exactly the old single flippedColor(base) probe --
+      // same decompose call sequence, same cache hit/miss counters.
+      Color best = base;
+      for (int ci = 0; ci < g.colorCount() && conflicts > 0; ++ci) {
+        const Color alt = colorFromIndex(ci);
+        if (alt == base) continue;
+        const int altConflicts = conflictsUnder(alt);
+        if (altConflicts < conflicts) {
+          conflicts = altConflicts;
+          best = alt;
+        }
       }
+      g.setColor(net.id, best);
     }
     bestConflicts += conflicts;
   }
@@ -594,7 +622,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
       for (int layer = 0; layer < grid_->layers(); ++layer) {
         if (model_.graph(layer).findVertex(net.id) >= 0) {
           counters_.flips->add(
-              colorFlip(model_.graph(layer)).componentsImproved);
+              backend_->recolor(model_.graph(layer)).componentsImproved);
         }
       }
     }
@@ -731,7 +759,7 @@ RoutingStats OverlayAwareRouter::run() {
   waves_.reset();
   if (opts_.enableColorFlip && opts_.finalGlobalFlip) {
     SADP_SPAN("router.final_flip");
-    counters_.flips->add(colorFlipAll(model_).componentsImproved);
+    counters_.flips->add(backend_->recolorAll(model_).componentsImproved);
   }
   if (opts_.enableRepair) repairViolations(opts_.repairPasses);
   return stats_;
@@ -800,22 +828,31 @@ int OverlayAwareRouter::repairViolations(int maxPasses) {
           const Color before = g.colorOf(n);
           const Color base = before == Color::Unassigned ? Color::Core
                                                          : before;
-          g.setColor(n, flippedColor(base));
-          // Class-wide legality: the flip moves every hard-classmate too.
-          if (g.classOverlayUnits(n) >= kHardCost) {
+          // Try every alternative class color in index order; keep the
+          // first improvement. At k = 2 the only alternative is
+          // flippedColor(base), the old single-flip behavior.
+          bool improved = false;
+          for (int ci = 0; ci < g.colorCount(); ++ci) {
+            const Color alt = colorFromIndex(ci);
+            if (alt == base) continue;
+            g.setColor(n, alt);
+            // Class-wide legality: the flip moves every hard-classmate.
+            if (g.classOverlayUnits(n) >= kHardCost) {
+              g.setColor(n, base);
+              continue;
+            }
+            const int after = localViolations();
+            if (after < current) {
+              current = after;
+              changed = true;
+              dirty = true;
+              counters_.repairFlips->add(1);
+              improved = true;
+              break;
+            }
             g.setColor(n, base);
-            continue;
           }
-          const int after = localViolations();
-          if (after < current) {
-            current = after;
-            changed = true;
-            dirty = true;
-            counters_.repairFlips->add(1);
-            if (current == 0) break;
-          } else {
-            g.setColor(n, base);
-          }
+          if (improved && current == 0) break;
         }
         if (current == 0) continue;
 
@@ -965,6 +1002,7 @@ LayerDecomposition OverlayAwareRouter::decompose(
   DecomposeOptions o = opts;
   if (o.ctx == nullptr) o.ctx = ctx_;
   if (o.cache == nullptr) o.cache = opts_.maskCache;
+  if (o.synth == nullptr) o.synth = backend_;
   return decomposeLayer(coloredFragments(layer), grid_->rules(), o);
 }
 
@@ -973,6 +1011,7 @@ std::shared_ptr<const LayerDecomposition> OverlayAwareRouter::decomposeShared(
   DecomposeOptions o = opts;
   if (o.ctx == nullptr) o.ctx = ctx_;
   if (o.cache == nullptr) o.cache = opts_.maskCache;
+  if (o.synth == nullptr) o.synth = backend_;
   return decomposeLayerShared(coloredFragments(layer), grid_->rules(), o);
 }
 

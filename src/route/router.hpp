@@ -19,7 +19,7 @@
 #include <memory>
 #include <vector>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "netlist/netlist.hpp"
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
@@ -29,6 +29,7 @@
 namespace sadp {
 
 class MaskCache;
+class PatterningBackend;  // patterning/backend.hpp
 class RunContext;
 
 struct RouterOptions {
@@ -91,6 +92,12 @@ struct RouterOptions {
   /// byte-identical to serial routing for every value. <= 1 keeps the
   /// plain sequential loop.
   int routeJobs = 1;
+  /// Patterning backend (DESIGN.md §5.13): the coloring interpretation,
+  /// recoloring pass, and mask synthesis the run uses. Null resolves the
+  /// run context's patterningBackendName(), itself defaulting to the
+  /// 2-color SADP cut-process backend -- which leaves every code path and
+  /// output byte identical to the pre-backend router.
+  const PatterningBackend* backend = nullptr;
 };
 
 struct NetRouteState {
@@ -257,6 +264,9 @@ class OverlayAwareRouter {
   const Netlist* netlist_;
   RouterOptions opts_;
   RunContext* ctx_;  ///< never null; declared before engine_ (init order)
+  /// Resolved patterning backend; never null. Declared before model_ so
+  /// the constraint graphs can be built with its spec.
+  const PatterningBackend* backend_;
   RouterCounters counters_;
   OverlayModel model_;
   AStarEngine engine_;

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <string>
 
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -96,6 +97,19 @@ class RunContext {
   CostHints costHints() const;
   void setCostHints(const CostHints& h);
 
+  /// Default patterning backend for work run under this context, by
+  /// registry name ("sadp2", "tpl3"; empty = sadp2). Consumed by the
+  /// router when RouterOptions::backend is null -- the service sets it per
+  /// session from the load request, the CLI from --backend. Install
+  /// between runs only: a plain string, deliberately unsynchronized, like
+  /// every other between-runs knob here.
+  const std::string& patterningBackendName() const {
+    return patterningBackend_;
+  }
+  void setPatterningBackendName(std::string name) {
+    patterningBackend_ = std::move(name);
+  }
+
   /// Per-run bump arenas (DESIGN.md §5.9). Both are touched only by the
   /// run's driving thread -- the router / A* / coloring path; parallelFor
   /// workers never allocate from them. `scratchArena` is rewound by
@@ -152,6 +166,7 @@ class RunContext {
   std::atomic<double> hintNsPerSetPx_{0.0};
   Arena scratchArena_;  ///< rewound per search/flip; see scratchArena()
   Arena graphArena_;    ///< run-lifetime allocations; see graphArena()
+  std::string patterningBackend_;  ///< empty = sadp2; see accessor above
 };
 
 /// Extra (non-caller) parallelFor workers currently alive across every

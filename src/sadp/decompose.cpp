@@ -619,12 +619,28 @@ static LayerDecomposition decomposeLayerUncached(
   return out;
 }
 
+namespace {
+
+/// Uncached entry point with backend dispatch: a non-SADP synthesizer owns
+/// the whole layer synthesis; null (or the SADP backend itself) takes the
+/// built-in cut-process pipeline above, byte for byte.
+LayerDecomposition synthesizeUncached(std::span<const ColoredFragment> frags,
+                                      const DesignRules& rules,
+                                      const DecomposeOptions& opts) {
+  if (opts.synth != nullptr && opts.synth->synthId() != kSadpCutSynthId) {
+    return opts.synth->synthesize(frags, rules, opts);
+  }
+  return decomposeLayerUncached(frags, rules, opts);
+}
+
+}  // namespace
+
 std::shared_ptr<const LayerDecomposition> decomposeLayerShared(
     std::span<const ColoredFragment> frags, const DesignRules& rules,
     const DecomposeOptions& opts) {
   if (opts.cache == nullptr) {
     return std::make_shared<const LayerDecomposition>(
-        decomposeLayerUncached(frags, rules, opts));
+        synthesizeUncached(frags, rules, opts));
   }
   RunContext& ctx = opts.ctx ? *opts.ctx : RunContext::current();
   const MaskCacheKey key = maskCacheKey(frags, rules, opts);
@@ -633,15 +649,14 @@ std::shared_ptr<const LayerDecomposition> decomposeLayerShared(
     return hit;
   }
   ctx.metrics().counter("mask_cache.misses").add(1);
-  return opts.cache->insert(key,
-                            decomposeLayerUncached(frags, rules, opts));
+  return opts.cache->insert(key, synthesizeUncached(frags, rules, opts));
 }
 
 LayerDecomposition decomposeLayer(std::span<const ColoredFragment> frags,
                                   const DesignRules& rules,
                                   const DecomposeOptions& opts) {
   if (opts.cache == nullptr) {
-    return decomposeLayerUncached(frags, rules, opts);  // move, no copy
+    return synthesizeUncached(frags, rules, opts);  // move, no copy
   }
   return *decomposeLayerShared(frags, rules, opts);
 }
@@ -659,6 +674,13 @@ std::uint64_t maskFingerprint(const LayerDecomposition& d) {
   for (const Bitmap* b :
        {&d.target, &d.coreMask, &d.spacer, &d.cut, &d.assists, &d.bridges}) {
     fold(fingerprint(*b));
+  }
+  // k-patterning exposure planes. Folded only when present (with a count
+  // prefix so plane boundaries matter), which keeps every SADP fingerprint
+  // — including the committed goldens — byte-identical.
+  if (!d.masks.empty()) {
+    fold(std::uint64_t(d.masks.size()));
+    for (const Bitmap& m : d.masks) fold(fingerprint(m));
   }
   fold(std::uint64_t(std::uint32_t(d.windowNm.xlo)));
   fold(std::uint64_t(std::uint32_t(d.windowNm.ylo)));

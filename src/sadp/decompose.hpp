@@ -77,6 +77,11 @@ struct LayerDecomposition {
   Bitmap cut;      ///< cut mask
   Bitmap assists;  ///< assistant-core material (after clipping/trimming)
   Bitmap bridges;  ///< merge-technique bridge fills
+  /// k-patterning exposure planes (one metal plane per color), filled only
+  /// by k>2 synthesizers (PatterningSynthesizer); empty for the SADP cut
+  /// process, whose planes are the named bitmaps above. maskFingerprint
+  /// folds these only when present so SADP fingerprints are unchanged.
+  std::vector<Bitmap> masks;
   /// nm bounding boxes of each cut-conflict region (width and space).
   std::vector<Rect> conflictBoxesNm;
   /// nm bounding boxes of each hard (longer than w_line) side overlay.
@@ -84,6 +89,35 @@ struct LayerDecomposition {
   OverlayReport report;
   Rect windowNm;   ///< nm box the rasters cover
   int pxPerNm10 = 1;  ///< raster resolution: 1 px = 10 nm
+};
+
+/// Identity of the built-in SADP cut-process synthesis (the decomposeLayer
+/// pipeline in this file). A DecomposeOptions::synth that reports this id
+/// -- or a null synth -- takes the built-in path; mask-cache keys absorb
+/// the id either way, so null and an explicit SADP backend share entries.
+inline constexpr std::uint64_t kSadpCutSynthId = 0x5adc'0c75'0002'0001ull;
+
+struct DecomposeOptions;
+
+/// Mask-synthesis strategy of a patterning backend (DESIGN.md §5.13).
+/// Defined here (not in src/patterning) so the decomposition layer can
+/// dispatch without depending on the backend library: PatterningBackend
+/// derives from this, sadp_patterning links sadp_sadp, and the dependency
+/// arrow stays one-directional.
+class PatterningSynthesizer {
+ public:
+  virtual ~PatterningSynthesizer() = default;
+  /// Stable identity folded into MaskCache keys. Must change whenever
+  /// synthesize() output could change for identical inputs.
+  virtual std::uint64_t synthId() const = 0;
+  /// Number of exposure planes synthesize() emits in LayerDecomposition::
+  /// masks (0 for the SADP cut process, which uses the named planes).
+  virtual int maskCount() const = 0;
+  /// Builds the layer's mask planes and measurement. Must NOT consult
+  /// opts.synth (the caller already dispatched) and must be deterministic.
+  virtual LayerDecomposition synthesize(std::span<const ColoredFragment> frags,
+                                        const DesignRules& rules,
+                                        const DecomposeOptions& opts) const = 0;
 };
 
 struct DecomposeOptions {
@@ -120,6 +154,11 @@ struct DecomposeOptions {
   /// byte-identical plane without recomputation; a miss computes and
   /// inserts. Hit/miss land on the ctx counters mask_cache.hits/.misses.
   MaskCache* cache = nullptr;
+  /// Mask-synthesis strategy. Null or an object whose synthId() ==
+  /// kSadpCutSynthId takes the built-in SADP cut-process pipeline below;
+  /// anything else is dispatched to synth->synthesize() (under the same
+  /// cache, whose key absorbs the synth identity).
+  const PatterningSynthesizer* synth = nullptr;
 };
 
 /// Synthesizes and measures one layer. Fragments are in track coordinates

@@ -34,7 +34,14 @@ MaskCacheKey maskCacheKey(std::span<const ColoredFragment> frags,
                           const DesignRules& rules,
                           const DecomposeOptions& opts) {
   Digest128 d;
-  d.absorb(std::uint64_t(1));  // key schema version
+  d.absorb(std::uint64_t(2));  // key schema version (2: + synth identity)
+  // Backend identity. Without this, a cache shared across backends would
+  // alias entries: identical fragments/rules/options decompose to entirely
+  // different planes under different synthesizers. Null and an explicit
+  // SADP backend absorb the same id on purpose — they produce identical
+  // planes, so sharing their entries is correct (and the sadp2
+  // byte-identity gate depends on the hit/miss sequence not changing).
+  d.absorb(opts.synth ? opts.synth->synthId() : kSadpCutSynthId);
   d.absorb(std::uint64_t(frags.size()));
   for (const ColoredFragment& cf : frags) {
     d.absorb(cf.frag.xlo);
@@ -65,6 +72,9 @@ std::size_t MaskCache::approxBytes(const LayerDecomposition& d) {
   for (const Bitmap* b :
        {&d.target, &d.coreMask, &d.spacer, &d.cut, &d.assists, &d.bridges}) {
     n += b->words().size() * sizeof(std::uint64_t);
+  }
+  for (const Bitmap& m : d.masks) {
+    n += m.words().size() * sizeof(std::uint64_t);
   }
   n += d.conflictBoxesNm.size() * sizeof(Rect);
   n += d.hardOverlayBoxesNm.size() * sizeof(Rect);

@@ -59,9 +59,20 @@ void writeMasks(std::ostream& os, const LayerDecomposition& d, int layer) {
       all.emplace_back(level, r);
     }
   }
-  os << "sadp-masks v1 " << layer << ' ' << all.size() << "\n";
+  std::vector<std::pair<int, Rect>> exposures;
+  for (std::size_t i = 0; i < d.masks.size(); ++i) {
+    for (const Rect& r : rasterToNmRects(d.masks[i], d.windowNm)) {
+      exposures.emplace_back(int(i), r);
+    }
+  }
+  os << "sadp-masks v1 " << layer << ' ' << all.size() + exposures.size()
+     << "\n";
   for (const auto& [level, r] : all) {
     os << toString(level) << ' ' << r.xlo << ' ' << r.ylo << ' ' << r.xhi
+       << ' ' << r.yhi << "\n";
+  }
+  for (const auto& [plane, r] : exposures) {
+    os << "mask" << plane << ' ' << r.xlo << ' ' << r.ylo << ' ' << r.xhi
        << ' ' << r.yhi << "\n";
   }
 }
@@ -70,6 +81,14 @@ std::vector<Rect> MaskFile::level(MaskLevel l) const {
   std::vector<Rect> out;
   for (const auto& [level, r] : rects) {
     if (level == l) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Rect> MaskFile::exposure(int plane) const {
+  std::vector<Rect> out;
+  for (const auto& [p, r] : exposures) {
+    if (p == plane) out.push_back(r);
   }
   return out;
 }
@@ -88,7 +107,11 @@ MaskFile readMasks(std::istream& is) {
     if (!(is >> level >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
       throw std::runtime_error("readMasks: truncated record");
     }
-    f.rects.emplace_back(parseLevel(level), r);
+    if (level.rfind("mask", 0) == 0) {
+      f.exposures.emplace_back(std::stoi(level.substr(4)), r);
+    } else {
+      f.rects.emplace_back(parseLevel(level), r);
+    }
   }
   return f;
 }

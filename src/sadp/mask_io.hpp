@@ -22,15 +22,22 @@ std::vector<Rect> extractMaskRects(const LayerDecomposition& d,
                                    MaskLevel level);
 
 /// Writes all four mask levels as "level xlo ylo xhi yhi" lines with a
-/// small header ("sadp-masks v1 <layer> <rect-count>").
+/// small header ("sadp-masks v1 <layer> <rect-count>"). k-patterning
+/// exposure planes (LayerDecomposition::masks), when present, follow as
+/// "mask<i>" lines; SADP decompositions have none, so their files are
+/// byte-identical to the pre-backend format.
 void writeMasks(std::ostream& os, const LayerDecomposition& d, int layer);
 
 /// Parsed form of the writeMasks output.
 struct MaskFile {
   int layer = 0;
   std::vector<std::pair<MaskLevel, Rect>> rects;
+  /// k-patterning exposure rects by (plane index, rect); empty for SADP.
+  std::vector<std::pair<int, Rect>> exposures;
 
   std::vector<Rect> level(MaskLevel l) const;
+  /// Rects of one exposure plane.
+  std::vector<Rect> exposure(int plane) const;
 };
 
 /// Parses the writeMasks format; throws std::runtime_error on bad input.

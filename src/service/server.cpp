@@ -1,5 +1,7 @@
 #include "service/server.hpp"
 
+#include "patterning/backend.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -560,6 +562,19 @@ JsonValue RouteServer::handleLoad(const JsonValue& req,
       return errResp(&req, "bad_request", "route_jobs must be >= 1");
     }
     routerOpts.routeJobs = int(*v);
+  }
+  // {"backend":"tpl3"} selects the session's patterning backend; absent
+  // means sadp2 (byte-identical to the pre-backend service).
+  if (const JsonValue* b = req.find("backend"); b != nullptr) {
+    const PatterningBackend* backend =
+        b->isString() ? findPatterningBackend(b->asString()) : nullptr;
+    if (backend == nullptr) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request",
+                     std::string("unknown backend (expected one of: ") +
+                         patterningBackendNames() + ")");
+    }
+    routerOpts.backend = backend;
   }
   auto session = std::make_shared<Session>(name, spec, cache, routerOpts);
   if (const auto v = intField(req, "threads"); v && *v > 0) {

@@ -2,7 +2,7 @@
 // priors and the baselines' first-fit coloring.
 #include <gtest/gtest.h>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "ocg/graph.hpp"
 
 namespace sadp {

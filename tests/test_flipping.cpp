@@ -1,6 +1,6 @@
 // Tests for the color-flipping engine: super-vertex reduction, maximum
 // spanning tree + tree DP (Theorem 4), and brute-force optimality checks.
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 
 #include <gtest/gtest.h>
 

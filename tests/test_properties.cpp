@@ -4,7 +4,7 @@
 
 #include <random>
 
-#include "color/flipping.hpp"
+#include "patterning/flipping.hpp"
 #include "netlist/benchmark.hpp"
 #include "route/router.hpp"
 #include "sadp/decompose.hpp"

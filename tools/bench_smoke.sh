@@ -97,6 +97,36 @@ for f in "$scratch"/wave1*.masks; do
 done
 echo "bench_smoke: --route-jobs 4 mask planes byte-identical to serial"
 
+# Backend matrix gate (DESIGN.md §5.13): selecting the SADP backend
+# explicitly must be a no-op byte-for-byte -- `--backend sadp2` mask
+# planes must equal the default run's. The triple-patterning backend gets
+# a determinism smoke: two `--backend tpl3` runs of the same design must
+# agree byte-for-byte and route with zero hard overlays (exit 0).
+bk_job="--seed-demo 30 --width 60 --height 60 --threads 2"
+# shellcheck disable=SC2086
+"$cli" $bk_job --masks "$scratch/bkdef_" >/dev/null || [ $? -eq 3 ]
+# shellcheck disable=SC2086
+"$cli" $bk_job --backend sadp2 --masks "$scratch/bk2_" >/dev/null || [ $? -eq 3 ]
+for f in "$scratch"/bkdef*.masks; do
+  twin=$(printf '%s' "$f" | sed 's/bkdef_/bk2_/')
+  cmp -s "$f" "$twin" || {
+    echo "bench_smoke: --backend sadp2 output $twin differs from default $f" >&2
+    exit 1
+  }
+done
+# shellcheck disable=SC2086
+"$cli" $bk_job --backend tpl3 --masks "$scratch/bk3a_" >/dev/null
+# shellcheck disable=SC2086
+"$cli" $bk_job --backend tpl3 --masks "$scratch/bk3b_" >/dev/null
+for f in "$scratch"/bk3a*.masks; do
+  twin=$(printf '%s' "$f" | sed 's/bk3a_/bk3b_/')
+  cmp -s "$f" "$twin" || {
+    echo "bench_smoke: --backend tpl3 rerun $twin differs from $f" >&2
+    exit 1
+  }
+done
+echo "bench_smoke: --backend sadp2 byte-identical to default; tpl3 deterministic"
+
 # Service gate: the routing daemon's warm ECO path must earn its keep.
 # A scripted client loads a design, measures cold full-route latency,
 # then drives random move_pin edits; the memoized replay must push warm
@@ -141,7 +171,7 @@ if [ "${BENCH_SMOKE_SKIP_ASAN:-0}" != "1" ]; then
   cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_astar_equiv test_bitmap_simd test_schedule_fuzz \
     test_service_fuzz test_wave_planner test_route_parallel_fuzz \
-    >/dev/null
+    test_backend_fuzz >/dev/null
   (cd "$asan_dir" && ctest -L fuzz --output-on-failure)
   echo "bench_smoke: fuzz label clean under -DSADP_SANITIZE=address"
 else

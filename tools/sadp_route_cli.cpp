@@ -25,6 +25,9 @@
 //                       decomposition morphology; 0 = automatic (default),
 //                       negative = whole-window reference path. Any value
 //                       yields byte-identical reports and masks.
+//   --backend NAME      patterning backend: sadp2 (the default 2-color SADP
+//                       cut process) or tpl3 (triple patterning; emits 3
+//                       exposure planes per layer)
 //   --schedule MODE     band-to-worker assignment of the tiled passes:
 //                       "dynamic" (default) = cost-weighted work stealing,
 //                       "static" = shared-cursor assignment. Either mode
@@ -53,6 +56,7 @@
 #include <vector>
 
 #include "netlist/benchmark.hpp"
+#include "patterning/backend.hpp"
 #include "route/router.hpp"
 #include "run/run_context.hpp"
 #include "sadp/mask_io.hpp"
@@ -89,7 +93,7 @@ struct CliArgs {
                "       [--csv FILE] [--no-flip] [--no-cut-check]\n"
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
                "       [--route-jobs N] [--tile-words N]\n"
-               "       [--schedule static|dynamic]\n"
+               "       [--backend sadp2|tpl3] [--schedule static|dynamic]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "   or: sadp_route_cli --batch LIST-FILE [--jobs N]\n";
   std::exit(2);
@@ -154,6 +158,14 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
       }
     } else if (opt == "--tile-words") {
       a.decompose.tileWords = parseIntOpt("--tile-words", value(i));
+    } else if (opt == "--backend") {
+      const std::string& name = value(i);
+      a.router.backend = findPatterningBackend(name);
+      if (a.router.backend == nullptr) {
+        usage(("unknown --backend '" + name + "' (expected one of: " +
+               patterningBackendNames() + ")")
+                  .c_str());
+      }
     } else if (opt == "--schedule") {
       const std::string& mode = value(i);
       if (mode == "static") {
