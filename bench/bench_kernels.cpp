@@ -363,6 +363,28 @@ void BM_RouteWaves(benchmark::State& state) {
 BENCHMARK(BM_RouteWaves)->Arg(1)->Arg(4)->ArgName("jobs")
     ->Unit(benchmark::kMillisecond);
 
+// ---- Negotiated-congestion routing (PathFinder pre-phase, §5.14) -----------
+
+/// Timing-driven run with the PathFinder negotiation pre-phase enabled:
+/// STA over the estimated net graph, criticality-ordered serial pre-route
+/// with present/history congestion costs iterated to zero overflow, then
+/// the regular overlay-aware pass on the frozen history base field.
+void BM_NegotiatedRoute(benchmark::State& state) {
+  const BenchmarkSpec spec = paperBenchmark("Test2").scaled(0.15);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchmarkInstance inst = makeBenchmark(spec);
+    RunContext ctx;
+    RouterOptions ro;
+    ro.negotiate = true;
+    ro.timingDriven = true;
+    state.ResumeTiming();
+    OverlayAwareRouter router(inst.grid, inst.netlist, ro, &ctx);
+    benchmark::DoNotOptimize(router.run());
+  }
+}
+BENCHMARK(BM_NegotiatedRoute)->Unit(benchmark::kMillisecond);
+
 // ---- Full-chip physical report (per-layer parallel) ------------------------
 
 /// One routed multi-layer instance shared by the report benchmarks.

@@ -12,12 +12,17 @@
 namespace sadp {
 
 ExperimentRow runProposed(const BenchmarkSpec& spec, RunContext* ctx) {
+  return runProposed(spec, RouterOptions{}, "ours", ctx);
+}
+
+ExperimentRow runProposed(const BenchmarkSpec& spec, const RouterOptions& opts,
+                          const std::string& label, RunContext* ctx) {
   RunContext& c = ctx ? *ctx : RunContext::current();
   RunContext::Scope bind(c);
   SADP_SPAN("eval.proposed");
   BenchmarkInstance inst = makeBenchmark(spec);
   const auto t0 = std::chrono::steady_clock::now();
-  OverlayAwareRouter router(inst.grid, inst.netlist, {}, &c);
+  OverlayAwareRouter router(inst.grid, inst.netlist, opts, &c);
   const RoutingStats stats = router.run();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -26,7 +31,7 @@ ExperimentRow runProposed(const BenchmarkSpec& spec, RunContext* ctx) {
 
   ExperimentRow row;
   row.circuit = spec.name;
-  row.router = "ours";
+  row.router = label;
   row.nets = int(inst.netlist.size());
   row.routability = stats.routability();
   // Residual forbidden assignments (already counted as physical hard
@@ -36,6 +41,8 @@ ExperimentRow runProposed(const BenchmarkSpec& spec, RunContext* ctx) {
   row.conflicts = phys.cutConflicts();
   row.hardOverlays = phys.hardOverlays;
   row.cpuSeconds = secs;
+  row.worstSlack = stats.worstSlack;
+  row.negotiateOverflow = stats.negotiateOverflow;
   return row;
 }
 
@@ -148,12 +155,14 @@ std::optional<double> runtimeExponent(
 
 void writeCsv(std::ostream& os, const std::vector<ExperimentRow>& rows) {
   os << "circuit,router,nets,routability,overlay_units,overlay_nm,"
-        "conflicts,hard_overlays,cpu_seconds,na\n";
+        "conflicts,hard_overlays,cpu_seconds,na,worst_slack,"
+        "negotiate_overflow\n";
   for (const ExperimentRow& r : rows) {
     os << r.circuit << ',' << r.router << ',' << r.nets << ','
        << r.routability << ',' << r.overlayUnits << ',' << r.overlayNm << ','
        << r.conflicts << ',' << r.hardOverlays << ',' << r.cpuSeconds << ','
-       << (r.na ? 1 : 0) << "\n";
+       << (r.na ? 1 : 0) << ',' << r.worstSlack << ','
+       << r.negotiateOverflow << "\n";
   }
 }
 

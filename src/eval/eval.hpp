@@ -9,6 +9,7 @@
 
 #include "baselines/baselines.hpp"
 #include "netlist/benchmark.hpp"
+#include "route/router.hpp"
 
 namespace sadp {
 
@@ -26,6 +27,8 @@ struct ExperimentRow {
   int hardOverlays = 0;
   double cpuSeconds = 0.0;
   bool na = false;  ///< timed out (reported as NA, like the paper)
+  std::int64_t worstSlack = 0;        ///< post-route worst slack (timing on)
+  std::int64_t negotiateOverflow = 0; ///< final negotiation overflow count
 };
 
 /// Runs the proposed overlay-aware router on an instance. Metrics, spans
@@ -33,6 +36,12 @@ struct ExperimentRow {
 /// context when null). Every row field except cpuSeconds is deterministic
 /// for a given spec, independent of thread count or concurrent runs.
 ExperimentRow runProposed(const BenchmarkSpec& spec,
+                          RunContext* ctx = nullptr);
+
+/// As above with explicit router options (e.g. timing-driven or negotiated
+/// modes); the row's router label gets `label`.
+ExperimentRow runProposed(const BenchmarkSpec& spec,
+                          const RouterOptions& opts, const std::string& label,
                           RunContext* ctx = nullptr);
 
 /// Runs one baseline on an instance (same context contract as above).

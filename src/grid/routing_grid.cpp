@@ -61,6 +61,38 @@ std::size_t RoutingGrid::occupiedCount() const {
   return n;
 }
 
+void RoutingGrid::resetCongestion() {
+  negUsage_.assign(nodeCount(), 0);
+  negHistory_.assign(nodeCount(), 0.0f);
+}
+
+void RoutingGrid::clearCongestion() {
+  negUsage_.clear();
+  negUsage_.shrink_to_fit();
+  negHistory_.clear();
+  negHistory_.shrink_to_fit();
+}
+
+void RoutingGrid::addUsage(const GridNode& n, std::int32_t delta) {
+  if (!inBounds(n)) return;
+  std::int32_t& u = negUsage_[index(n)];
+  u = std::max<std::int32_t>(0, u + delta);
+}
+
+std::int64_t RoutingGrid::overflowCount() const {
+  std::int64_t n = 0;
+  for (const std::int32_t u : negUsage_) n += u > 1;
+  return n;
+}
+
+std::vector<std::size_t> RoutingGrid::overflowedCells() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < negUsage_.size(); ++i) {
+    if (negUsage_[i] > 1) out.push_back(i);
+  }
+  return out;
+}
+
 std::int64_t RoutingGrid::occupiedInBox(const Rect& trBox) const {
   const Track xlo = std::max<Track>(Track(trBox.xlo), 0);
   const Track xhi = std::min<Track>(Track(trBox.xhi), width_);

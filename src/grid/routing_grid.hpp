@@ -108,12 +108,47 @@ class RoutingGrid {
   /// searches first (route/router.cpp).
   std::int64_t occupiedInBox(const Rect& trBox) const;
 
+  // --- PathFinder negotiated-congestion state (DESIGN.md §5.14) ---
+  //
+  // During the router's negotiation pre-phase nets share cells instead of
+  // occupying them; the grid carries the per-cell sharing count (present
+  // cost input) and the accumulated history cost that the iteration folds
+  // into the A* penalty field. The arrays are empty until
+  // resetCongestion() and cost nothing otherwise.
+
+  /// (Re)allocates and zeroes the usage/history arrays.
+  void resetCongestion();
+  /// Drops the arrays entirely (post-negotiation: back to zero footprint).
+  void clearCongestion();
+  bool congestionActive() const { return !negUsage_.empty(); }
+  /// Nets currently sharing a node.
+  std::int32_t usageAt(const GridNode& n) const {
+    return negUsage_[index(n)];
+  }
+  std::int32_t usageAtIndex(std::size_t idx) const { return negUsage_[idx]; }
+  /// Adds to a node's sharing count (delta may be negative); out-of-bounds
+  /// nodes are ignored. Counts never go below zero.
+  void addUsage(const GridNode& n, std::int32_t delta);
+  /// Accumulated history cost of a node.
+  float historyAt(const GridNode& n) const { return negHistory_[index(n)]; }
+  float historyAtIndex(std::size_t idx) const { return negHistory_[idx]; }
+  void addHistory(const GridNode& n, float delta) {
+    if (inBounds(n)) negHistory_[index(n)] += delta;
+  }
+  /// Cells shared by more than one net (the PathFinder overflow measure).
+  std::int64_t overflowCount() const;
+  /// Linear indices of the overflowed cells, ascending (deterministic
+  /// iteration order for history bumps).
+  std::vector<std::size_t> overflowedCells() const;
+
  private:
   Track width_;
   Track height_;
   int layers_;
   DesignRules rules_;
   std::vector<NetId> occ_;
+  std::vector<std::int32_t> negUsage_;  ///< negotiation sharing counts
+  std::vector<float> negHistory_;       ///< negotiation history costs
 };
 
 }  // namespace sadp

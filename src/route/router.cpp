@@ -149,6 +149,8 @@ OverlayAwareRouter::OverlayAwareRouter(RoutingGrid& grid,
   counters_.repairReroutes = &m.counter("repair.reroutes");
   counters_.repairSacrifices = &m.counter("repair.sacrifices");
   counters_.verifySkips = &m.counter("router.verify_skips");
+  counters_.negotiateIters = &m.counter("router.negotiate_iter");
+  counters_.negotiateOverflow = &m.histogram("router.negotiate_overflow");
   counters_.astarRoutes = &m.counter(astar_metric::kRoutes);
   counters_.astarExpansions = &m.counter(astar_metric::kExpansions);
   counters_.astarHeapPushes = &m.counter(astar_metric::kHeapPushes);
@@ -202,15 +204,28 @@ void OverlayAwareRouter::noteDiverged(NetId net) {
   }
 }
 
-void OverlayAwareRouter::addRipUpPenalty(const GridNode& n, float delta) {
+namespace {
+/// One penalty-field mutation folded into a history hash. Shared by the
+/// live addRipUpPenalty path and the precomputation of negBaseHash_ (the
+/// hash resetRipUpFieldToBase deterministically replays to).
+void mixPenaltyEvent(std::uint64_t& h, const GridNode& n, float delta) {
   auto mix = [&](std::uint64_t v) {
-    ripUpHistoryHash_ ^= v + 0x9e3779b97f4a7c15ull +
-                         (ripUpHistoryHash_ << 6) + (ripUpHistoryHash_ >> 2);
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   };
   mix((std::uint64_t(std::uint32_t(n.x)) << 32) | std::uint32_t(n.y));
   mix((std::uint64_t(std::uint16_t(n.layer)) << 32) |
       std::bit_cast<std::uint32_t>(delta));
+}
+}  // namespace
+
+void OverlayAwareRouter::addRipUpPenalty(const GridNode& n, float delta) {
+  mixPenaltyEvent(ripUpHistoryHash_, n, delta);
   ripUpField_.add(n, delta);
+}
+
+void OverlayAwareRouter::resetRipUpFieldToBase() {
+  clearRipUpField();
+  for (const auto& [node, v] : negBaseCells_) addRipUpPenalty(node, v);
 }
 
 void OverlayAwareRouter::clearRipUpField() {
@@ -325,13 +340,41 @@ bool OverlayAwareRouter::footprintMatches(const SearchFootprint& fp, NetId net,
   return true;
 }
 
+AStarParams OverlayAwareRouter::netParams(NetId net) const {
+  AStarParams p = opts_.astar;
+  if (!opts_.timingDriven || net < 0 ||
+      std::size_t(net) >= crit64_.size()) {
+    return p;
+  }
+  // Criticality steers eq. (5)'s engineering knobs: critical nets pay
+  // more for wrong-way jogs (straighter, shorter) AND more per via --
+  // without the beta bump a higher wrongWay just trades jogs for layer
+  // changes, and a via costs delayPerVia track-delays, so the search
+  // would minimize cost while worsening delay. Slack-rich nets pay more
+  // for T2b risk (they can afford the detour that avoids it). The 1/64
+  // quantization keeps alpha*wrongWay and beta exactly representable
+  // under deriveFixedCostScale for integer/half-integer bases, preserving
+  // the bucket-queue fast path.
+  const int c = crit64_[std::size_t(net)];
+  const std::int64_t viaRatio =
+      opts_.timing.delayPerTrack > 0
+          ? std::max<std::int64_t>(
+                0, opts_.timing.delayPerVia / opts_.timing.delayPerTrack - 1)
+          : 0;
+  p.wrongWay += double(c) / 64.0;
+  p.beta += double(viaRatio * c) / 64.0;
+  p.gamma *= 1.0 + double(64 - c) / 64.0;
+  return p;
+}
+
 SearchMemoKey OverlayAwareRouter::makeSearchKey(
     std::span<const GridNode> sources, std::span<const GridNode> targets,
-    const PenaltyField* extra, const T2bField* t2b) const {
+    const AStarParams& params, const PenaltyField* extra,
+    const T2bField* t2b) const {
   SearchMemoKey key;
   key.sources.assign(sources.begin(), sources.end());
   key.targets.assign(targets.begin(), targets.end());
-  key.params = opts_.astar;
+  key.params = params;
   key.usedPenalty = extra != nullptr;
   key.usedT2b = t2b != nullptr;
   if (extra != nullptr) {
@@ -350,8 +393,9 @@ SearchMemoKey OverlayAwareRouter::makeSearchKey(
 
 std::optional<AStarResult> OverlayAwareRouter::searchOrSpec(
     NetId net, std::span<const GridNode> sources,
-    std::span<const GridNode> targets, const PenaltyField* extra,
-    const T2bField* t2b, SearchFootprint* fpOut) {
+    std::span<const GridNode> targets, const AStarParams& params,
+    const PenaltyField* extra, const T2bField* t2b,
+    SearchFootprint* fpOut) {
   if (waves_ != nullptr && net >= 0 &&
       std::size_t(net) < waves_->specByNet.size() &&
       waves_->specByNet[std::size_t(net)].pending) {
@@ -364,7 +408,8 @@ std::optional<AStarResult> OverlayAwareRouter::searchOrSpec(
     // (route/route_memo.hpp); commits between speculation and this point
     // invalidate through the footprint walk, never silently.
     if (!spec.entry.footprint.overflow &&
-        spec.entry.key == makeSearchKey(sources, targets, extra, t2b) &&
+        spec.entry.key ==
+            makeSearchKey(sources, targets, params, extra, t2b) &&
         footprintMatches(spec.entry.footprint, net, extra, t2b)) {
       ++waveSpecHits_;
       // Replay the exact counter deltas the speculative search flushed
@@ -385,19 +430,19 @@ std::optional<AStarResult> OverlayAwareRouter::searchOrSpec(
   }
   if (fpOut != nullptr) engine_.setFootprintRecorder(fpOut);
   std::optional<AStarResult> res =
-      engine_.route(net, sources, targets, opts_.astar, extra, t2b);
+      engine_.route(net, sources, targets, params, extra, t2b);
   if (fpOut != nullptr) engine_.setFootprintRecorder(nullptr);
   return res;
 }
 
 std::optional<AStarResult> OverlayAwareRouter::memoSearch(
     NetId net, std::span<const GridNode> sources,
-    std::span<const GridNode> targets, const PenaltyField* extra,
-    const T2bField* t2b) {
+    std::span<const GridNode> targets, const AStarParams& params,
+    const PenaltyField* extra, const T2bField* t2b) {
   if (opts_.memo == nullptr) {
-    return searchOrSpec(net, sources, targets, extra, t2b, nullptr);
+    return searchOrSpec(net, sources, targets, params, extra, t2b, nullptr);
   }
-  SearchMemoKey key = makeSearchKey(sources, targets, extra, t2b);
+  SearchMemoKey key = makeSearchKey(sources, targets, params, extra, t2b);
   SearchMemoEntry* prev = opts_.memo->next(net);
   if (prev != nullptr && !prev->footprint.overflow && prev->key == key) {
     // Fast path: with trusted changed-region tracking, a footprint whose
@@ -423,8 +468,8 @@ std::optional<AStarResult> OverlayAwareRouter::memoSearch(
   noteDiverged(net);
   SearchMemoEntry entry;
   entry.key = std::move(key);
-  std::optional<AStarResult> res =
-      searchOrSpec(net, sources, targets, extra, t2b, &entry.footprint);
+  std::optional<AStarResult> res = searchOrSpec(net, sources, targets, params,
+                                                extra, t2b, &entry.footprint);
   if (res) noteChanged(pathBounds(res->path));
   entry.result = res;
   opts_.memo->commit(net, std::move(entry));
@@ -513,12 +558,23 @@ int OverlayAwareRouter::resolveCutConflicts(const Net& net) {
 
 bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
   NetRouteState& st = states_[net.id];
-  if (freshPenaltyField) clearRipUpField();
+  // Negotiation history persists as this net's base penalty field: the
+  // replay lands ripUpHistoryHash_ exactly on negBaseHash_, so memo and
+  // speculation keys are stable run over run.
+  const bool hasNegBase = !negBaseCells_.empty();
+  if (freshPenaltyField) {
+    if (hasNegBase) {
+      resetRipUpFieldToBase();
+    } else {
+      clearRipUpField();
+    }
+  }
+  const AStarParams params = netParams(net.id);
 
   for (int attempt = 0; attempt <= opts_.maxRipUp; ++attempt) {
-    const bool usePenalty = !freshPenaltyField || attempt > 0;
+    const bool usePenalty = !freshPenaltyField || attempt > 0 || hasNegBase;
     auto res = memoSearch(
-        net.id, net.source.candidates, net.target.candidates,
+        net.id, net.source.candidates, net.target.candidates, params,
         usePenalty ? &ripUpField_ : nullptr,
         opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
     if (!res) return false;
@@ -537,7 +593,7 @@ bool OverlayAwareRouter::routeNet(const Net& net, bool freshPenaltyField) {
     bool tapsOk = true;
     for (const Pin& tap : net.taps) {
       auto tres = memoSearch(
-          net.id, tap.candidates, st.path,
+          net.id, tap.candidates, st.path, params,
           usePenalty ? &ripUpField_ : nullptr,
           opts_.enableT2bAvoidance ? &t2bField_ : nullptr);
       if (!tres) {
@@ -683,6 +739,12 @@ void OverlayAwareRouter::speculateFrontier(std::span<const Net* const> order,
         std::max<std::int64_t>(box.area(), 1) + 2 * grid_->occupiedInBox(box);
   }
   const T2bField* t2b = opts_.enableT2bAvoidance ? &t2bField_ : nullptr;
+  // Negotiation mode: attempt-0 searches read the frozen history base
+  // (negBase_, content-equal to the ripUpField_ that routeNet replays at
+  // commit time), so the speculative key/footprint verify against the
+  // replayed field. negBase_ is immutable during the fan-out: read-only
+  // sharing across slots is race-free.
+  const PenaltyField* specExtra = negBase_.get();
   // Strict phase alternation: this fan-out only READS router state (grid
   // occupancy, T2b field, netlist) and writes disjoint SpecEntry slots;
   // it joins before any commit mutates state again, so the speculative
@@ -692,19 +754,26 @@ void OverlayAwareRouter::speculateFrontier(std::span<const Net* const> order,
     const Net& net = *order[std::size_t(batch[std::size_t(k)])];
     SpecSlot* slot = w.acquireSlot(*grid_);
     SpecEntry& spec = w.specByNet[std::size_t(net.id)];
+    const AStarParams params = netParams(net.id);
     // Attempt-0 key: no penalty field (routeNet passes it only after a
-    // rip-up, which also invalidates by key), T2b as configured. Key
-    // fields snapshot speculation-time state; commit-time key equality
-    // catches any interim drift of the field summaries.
+    // rip-up, which also invalidates by key) unless a negotiation base is
+    // live, T2b as configured. Key fields snapshot speculation-time
+    // state; commit-time key equality catches any interim drift of the
+    // field summaries.
     spec.entry.key = makeSearchKey(net.source.candidates,
-                                   net.target.candidates, nullptr, t2b);
+                                   net.target.candidates, params, specExtra,
+                                   t2b);
+    // makeSearchKey stamps the live ripUpHistoryHash_, which mid-loop
+    // reflects whatever net committed last; attempt 0 always starts from
+    // the replayed base, whose hash is precomputed.
+    if (specExtra != nullptr) spec.entry.key.penaltyHistory = negBaseHash_;
     const std::int64_t r0 = slot->routes->value();
     const std::int64_t e0 = slot->expansions->value();
     const std::int64_t p0 = slot->pushes->value();
     slot->engine.setFootprintRecorder(&spec.entry.footprint);
     spec.entry.result =
         slot->engine.route(net.id, net.source.candidates,
-                           net.target.candidates, opts_.astar, nullptr, t2b);
+                           net.target.candidates, params, specExtra, t2b);
     slot->engine.setFootprintRecorder(nullptr);
     spec.routes = slot->routes->value() - r0;
     spec.expansions = slot->expansions->value() - e0;
@@ -712,6 +781,172 @@ void OverlayAwareRouter::speculateFrontier(std::span<const Net* const> order,
     spec.pending = true;
     w.releaseSlot(slot);
   });
+}
+
+void OverlayAwareRouter::computeCriticality() {
+  crit64_.assign(netlist_->size(), 0);
+  timingEdges_.clear();
+  timingPeriod_ = 0;
+  if (!opts_.timingDriven) return;
+  SADP_SPAN("router.timing_analysis");
+  const std::vector<std::int64_t> delays =
+      estimateNetDelays(*netlist_, opts_.timing);
+  const std::vector<TimingEdge> raw = deriveTimingEdges(*netlist_, opts_.timing);
+  timingEdges_ = pruneTimingCycles(netlist_->size(), raw);
+  const TimingResult res =
+      analyzeTiming(netlist_->size(), timingEdges_, delays, opts_.timing);
+  // pruneTimingCycles guarantees an acyclic graph, so analysis cannot
+  // report a cycle here.
+  const TimingAnalysis& ta = res.analysis;
+  timingPeriod_ = ta.period;
+  stats_.worstSlack = ta.worstSlack;
+  stats_.timingValid = true;
+  for (std::size_t i = 0; i < crit64_.size(); ++i) {
+    crit64_[i] = ta.nets[i].crit64;
+  }
+}
+
+void OverlayAwareRouter::computeRoutedSlack() {
+  if (!opts_.timingDriven) return;
+  SADP_SPAN("router.timing_update");
+  // Same graph and period as the pre-route pass; only delays change, to
+  // the committed wirelength/via numbers where a route exists.
+  std::vector<std::int64_t> delays = estimateNetDelays(*netlist_, opts_.timing);
+  for (const Net& net : netlist_->nets) {
+    const NetRouteState& st = states_[net.id];
+    if (st.routed) {
+      delays[std::size_t(net.id)] =
+          pathDelay(st.wirelength, int(st.vias), opts_.timing);
+    }
+  }
+  TimingOptions fixed = opts_.timing;
+  fixed.period = timingPeriod_;
+  const TimingResult res =
+      analyzeTiming(netlist_->size(), timingEdges_, delays, fixed);
+  stats_.worstSlack = res.analysis.worstSlack;
+  stats_.timingValid = true;
+}
+
+std::vector<GridNode> OverlayAwareRouter::negotiationSearch(
+    const Net& net, PenaltyField& negField) {
+  // Pure search against present + history costs: no memo, no
+  // speculation, no footprint. The negotiation phase re-executes from
+  // scratch on every run (including ECO replay), so determinism needs
+  // only a fixed net order and a deterministic A* -- both held.
+  std::vector<GridNode> cells;
+  const AStarParams params = netParams(net.id);
+  auto res = engine_.route(net.id, net.source.candidates,
+                           net.target.candidates, params, &negField, nullptr);
+  if (!res) return cells;
+  cells = res->path;
+  for (const Pin& tap : net.taps) {
+    auto tres =
+        engine_.route(net.id, tap.candidates, cells, params, &negField,
+                      nullptr);
+    if (!tres) continue;  // main loop will handle the unroutable tap
+    for (std::size_t i = 0; i + 1 < tres->path.size(); ++i) {
+      cells.push_back(tres->path[i]);
+    }
+  }
+  // A net's usage contribution is per cell, not per visit: dedupe so a
+  // self-touching tree never counts a cell twice.
+  std::sort(cells.begin(), cells.end(), [&](const GridNode& a,
+                                            const GridNode& b) {
+    return grid_->index(a) < grid_->index(b);
+  });
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+void OverlayAwareRouter::negotiationPhase(
+    std::span<const Net* const> order) {
+  SADP_SPAN("router.negotiate");
+  grid_->resetCongestion();
+  PenaltyField negField(*grid_);
+  std::vector<std::vector<GridNode>> negPath(netlist_->size());
+
+  auto addCells = [&](const std::vector<GridNode>& cells, int dir) {
+    for (const GridNode& n : cells) {
+      grid_->addUsage(n, dir);
+      negField.add(n, float(dir) * opts_.presentFactor);
+    }
+  };
+
+  const int iters = std::max(1, opts_.maxNegotiateIters);
+  std::int64_t overflow = 0;
+  int ran = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    bool any = false;
+    for (const Net* netp : order) {
+      const Net& net = *netp;
+      std::vector<GridNode>& cur = negPath[std::size_t(net.id)];
+      if (iter > 0) {
+        // Reroute only "hot" nets: unrouted or crossing a shared cell.
+        bool hot = cur.empty();
+        for (const GridNode& n : cur) {
+          if (grid_->usageAt(n) > 1) {
+            hot = true;
+            break;
+          }
+        }
+        if (!hot) continue;
+      }
+      any = true;
+      addCells(cur, -1);
+      cur = negotiationSearch(net, negField);
+      addCells(cur, +1);
+    }
+    overflow = grid_->overflowCount();
+    ++ran;
+    counters_.negotiateIters->add(1);
+    counters_.negotiateOverflow->add(overflow);
+    if (overflow == 0 || !any) break;
+    if (iter + 1 < iters) {
+      // PathFinder history bump: every currently overflowed cell gets
+      // permanently more expensive. Ascending-index iteration keeps the
+      // accumulation order (and float sums) deterministic.
+      for (const std::size_t idx : grid_->overflowedCells()) {
+        const std::size_t planeCells =
+            std::size_t(grid_->width()) * std::size_t(grid_->height());
+        const std::size_t rem = idx % planeCells;
+        const GridNode n{Track(rem % std::size_t(grid_->width())),
+                         Track(rem / std::size_t(grid_->width())),
+                         std::int16_t(idx / planeCells)};
+        grid_->addHistory(n, opts_.historyIncrement);
+        negField.add(n, opts_.historyIncrement);
+      }
+    }
+  }
+  stats_.negotiateIters = ran;
+  stats_.negotiateOverflow = overflow;
+
+  // Carry the accumulated history (not the last iteration's present
+  // costs) into the main loop as the base penalty field: history marks
+  // durable contention, present cost was only ever a tie-breaker between
+  // live alternatives that the real rip-up loop re-discovers itself.
+  negBaseCells_.clear();
+  negBase_.reset();
+  negBaseHash_ = 0;
+  for (std::size_t idx = 0; idx < grid_->nodeCount(); ++idx) {
+    const float h = grid_->historyAtIndex(idx);
+    if (h == 0.0f) continue;
+    const std::size_t planeCells =
+        std::size_t(grid_->width()) * std::size_t(grid_->height());
+    const std::size_t rem = idx % planeCells;
+    negBaseCells_.push_back(
+        {GridNode{Track(rem % std::size_t(grid_->width())),
+                  Track(rem / std::size_t(grid_->width())),
+                  std::int16_t(idx / planeCells)},
+         h});
+  }
+  grid_->clearCongestion();
+  if (!negBaseCells_.empty()) {
+    negBase_ = std::make_unique<PenaltyField>(*grid_);
+    for (const auto& [node, v] : negBaseCells_) {
+      negBase_->add(node, v);
+      mixPenaltyEvent(negBaseHash_, node, v);
+    }
+  }
 }
 
 RoutingStats OverlayAwareRouter::run() {
@@ -722,6 +957,7 @@ RoutingStats OverlayAwareRouter::run() {
   changedBoxes_.clear();
   divergedNoted_.assign(netlist_->size(), 0);
   for (const Rect& r : opts_.changedSeed) noteChanged(r);
+  computeCriticality();
   std::vector<const Net*> order;
   order.reserve(netlist_->size());
   for (const Net& net : netlist_->nets) order.push_back(&net);
@@ -736,6 +972,16 @@ RoutingStats OverlayAwareRouter::run() {
                        return hpwl(*a) < hpwl(*b);
                      });
   }
+  if (opts_.timingDriven) {
+    // Critical nets route first (stable over the length order above):
+    // they claim the straight paths, slack-rich nets absorb the detours.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const Net* a, const Net* b) {
+                       return crit64_[std::size_t(a->id)] >
+                              crit64_[std::size_t(b->id)];
+                     });
+  }
+  if (opts_.negotiate) negotiationPhase(order);
   // Wave-parallel mode: commit order below stays EXACTLY this serial
   // order; waves only drive speculative attempt-0 searches ahead of the
   // frontier, consumed (after verification) inside searchOrSpec.
@@ -762,6 +1008,7 @@ RoutingStats OverlayAwareRouter::run() {
     counters_.flips->add(backend_->recolorAll(model_).componentsImproved);
   }
   if (opts_.enableRepair) repairViolations(opts_.repairPasses);
+  computeRoutedSlack();
   return stats_;
 }
 

@@ -24,6 +24,7 @@
 #include "ocg/overlay_model.hpp"
 #include "route/astar.hpp"
 #include "route/route_memo.hpp"
+#include "route/timing.hpp"
 #include "sadp/decompose.hpp"
 
 namespace sadp {
@@ -98,6 +99,24 @@ struct RouterOptions {
   /// 2-color SADP cut-process backend -- which leaves every code path and
   /// output byte identical to the pre-backend router.
   const PatterningBackend* backend = nullptr;
+  /// Timing-driven mode (DESIGN.md §5.14): run net-level static timing
+  /// over the netlist (route/timing.hpp), order nets most-critical-first,
+  /// and scale per-net A* weights by criticality -- critical nets route
+  /// straighter (higher wrong-way cost), slack-rich nets absorb T2b
+  /// detours (higher gamma). Off = byte-identical to the classic router.
+  bool timingDriven = false;
+  /// PathFinder negotiated congestion (DESIGN.md §5.14): a pre-routing
+  /// phase where nets share grid cells and iteratively re-route against
+  /// present + history congestion costs until no cell is shared (or
+  /// maxNegotiateIters). The accumulated history survives into the main
+  /// exclusive-occupancy loop as a base penalty field, steering it away
+  /// from the contested cells up front. Deterministic and serial: results
+  /// stay byte-identical across routeJobs values and ECO replay.
+  bool negotiate = false;
+  int maxNegotiateIters = 16;     ///< negotiation iteration cap
+  float historyIncrement = 1.0f;  ///< history added per overflowed cell/iter
+  float presentFactor = 2.0f;     ///< present cost per extra sharer of a cell
+  TimingOptions timing;           ///< delay model / period for timingDriven
 };
 
 struct NetRouteState {
@@ -115,6 +134,14 @@ struct RoutingStats {
   int vias = 0;
   int ripUps = 0;
   int hardViolationsAccepted = 0;  ///< only nonzero with acceptHardViolations
+  /// Negotiated-congestion accounting (zero unless options.negotiate):
+  /// iterations run and residual shared cells when the loop stopped.
+  int negotiateIters = 0;
+  std::int64_t negotiateOverflow = 0;
+  /// Post-route worst slack in delay units (options.timingDriven only;
+  /// timingValid distinguishes a computed 0 from "not computed").
+  std::int64_t worstSlack = 0;
+  bool timingValid = false;
   double routability() const {
     return totalNets == 0 ? 0.0 : 100.0 * routedNets / totalNets;
   }
@@ -167,11 +194,17 @@ class OverlayAwareRouter {
 
  private:
   bool routeNet(const Net& net, bool freshPenaltyField = true);
+  /// The A* parameter set a net searches with: opts_.astar, with
+  /// wrong-way and gamma scaled by the net's criticality when timing is
+  /// on. crit64's 1/64 quantization keeps alpha*wrongWay exactly
+  /// representable under the fixed-point scale for the default alpha.
+  AStarParams netParams(NetId net) const;
   /// engine_.route() behind the optional RouteMemo: on a verified
   /// footprint match the recorded result is reused without searching.
   std::optional<AStarResult> memoSearch(NetId net,
                                         std::span<const GridNode> sources,
                                         std::span<const GridNode> targets,
+                                        const AStarParams& params,
                                         const PenaltyField* extra,
                                         const T2bField* t2b);
   /// The live engine_.route() call site shared by the memoized and
@@ -182,6 +215,7 @@ class OverlayAwareRouter {
   std::optional<AStarResult> searchOrSpec(NetId net,
                                           std::span<const GridNode> sources,
                                           std::span<const GridNode> targets,
+                                          const AStarParams& params,
                                           const PenaltyField* extra,
                                           const T2bField* t2b,
                                           SearchFootprint* fpOut);
@@ -189,8 +223,30 @@ class OverlayAwareRouter {
   /// (route/route_memo.hpp); shared by memoization and wave speculation.
   SearchMemoKey makeSearchKey(std::span<const GridNode> sources,
                               std::span<const GridNode> targets,
+                              const AStarParams& params,
                               const PenaltyField* extra,
                               const T2bField* t2b) const;
+  /// Runs net-level static timing over the netlist (estimated delays,
+  /// cycle-pruned proximity edges) and fills crit64_; resolves the clock
+  /// period once so the post-route re-analysis measures against the same
+  /// budget. No-op unless opts_.timingDriven.
+  void computeCriticality();
+  /// Post-route slack with committed path delays (stats_.worstSlack).
+  void computeRoutedSlack();
+  /// PathFinder negotiation pre-phase over `order` (DESIGN.md §5.14):
+  /// nets share cells (grid usage counts), re-routing against present +
+  /// history costs until overflow-free or opts_.maxNegotiateIters. Leaves
+  /// the accumulated history in negBaseCells_ for the main loop's base
+  /// penalty field. Strictly serial and deterministic.
+  void negotiationPhase(std::span<const Net* const> order);
+  /// Routes one net inside the negotiation phase (shared cells, no
+  /// occupancy or constraint-graph commit); returns its cell set.
+  std::vector<GridNode> negotiationSearch(const Net& net,
+                                          PenaltyField& negField);
+  /// Clears ripUpField_ and replays the negotiation history base into it;
+  /// ripUpHistoryHash_ lands on the precomputed negBaseHash_, so memo and
+  /// speculation keys stay stable across reruns and ECO replay.
+  void resetRipUpFieldToBase();
   /// Builds the wave plan and the speculative engine pool for `order`
   /// (the canonical commit order). Only called when opts_.routeJobs > 1.
   void prepareWaves(std::span<const Net* const> order);
@@ -248,6 +304,8 @@ class OverlayAwareRouter {
     Counter* repairReroutes;
     Counter* repairSacrifices;
     Counter* verifySkips;
+    Counter* negotiateIters;
+    Histogram* negotiateOverflow;
     // The engine's own metric handles, re-resolved here so a verified
     // speculative search can replay its recorded deltas into ctx_
     // (astar_metric names; same underlying objects engine_ flushes to).
@@ -280,6 +338,22 @@ class OverlayAwareRouter {
   std::vector<char> divergedNoted_;  ///< per-net: prevNetBoxes noted
   /// Running hash of every ripUpField_ mutation since construction.
   std::uint64_t ripUpHistoryHash_ = 0;
+  /// Per-net criticality in 1/64 steps; empty = timing off (all zero).
+  std::vector<int> crit64_;
+  /// Cycle-pruned proximity edges from the pre-route analysis, reused by
+  /// the post-route slack pass (same graph, routed delays).
+  std::vector<TimingEdge> timingEdges_;
+  /// Clock period resolved by the pre-route analysis (auto-derived period
+  /// must not drift when post-route delays change the critical path).
+  std::int64_t timingPeriod_ = 0;
+  /// Negotiation history carried into the main loop: sorted nonzero
+  /// (node, cost) cells replayed into ripUpField_ per net, plus the hash
+  /// and summaries that replay deterministically produces. A frozen copy
+  /// (negBase_) backs speculative attempt-0 searches so their keys and
+  /// footprints verify against the replayed ripUpField_ at commit time.
+  std::vector<std::pair<GridNode, float>> negBaseCells_;
+  std::uint64_t negBaseHash_ = 0;
+  std::unique_ptr<PenaltyField> negBase_;
   /// Live only during the wave-parallel main loop of run(); null keeps
   /// every search on the plain serial path.
   std::unique_ptr<WaveState> waves_;

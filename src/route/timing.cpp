@@ -1,0 +1,273 @@
+#include "route/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace sadp {
+
+namespace {
+
+/// Track bbox of every candidate of every pin of a net.
+Rect netPinBounds(const Net& n) {
+  Rect b;
+  auto fold = [&](const Pin& p) {
+    for (const GridNode& c : p.candidates) {
+      b = b.unionWith(Rect{c.x, c.y, c.x + 1, c.y + 1});
+    }
+  };
+  fold(n.source);
+  fold(n.target);
+  for (const Pin& t : n.taps) fold(t);
+  return b;
+}
+
+/// Representative location of a pin: its first candidate (the canonical
+/// one -- generators emit the preferred location first).
+GridNode pinLoc(const Pin& p) { return p.candidates.front(); }
+
+std::int64_t manhattanTracks(const GridNode& a, const GridNode& b) {
+  return std::abs(std::int64_t(a.x) - b.x) + std::abs(std::int64_t(a.y) - b.y);
+}
+
+}  // namespace
+
+std::int64_t estimateNetDelay(const Net& net, const TimingOptions& opts) {
+  const Rect b = netPinBounds(net);
+  const std::int64_t hpwl =
+      b.empty() ? 0 : std::int64_t(b.width()) + b.height() - 2;
+  return hpwl * opts.delayPerTrack +
+         std::int64_t(net.pinCount() - 1) * opts.delayPerVia;
+}
+
+std::vector<std::int64_t> estimateNetDelays(const Netlist& nl,
+                                            const TimingOptions& opts) {
+  std::vector<std::int64_t> out;
+  out.reserve(nl.size());
+  for (const Net& n : nl.nets) out.push_back(estimateNetDelay(n, opts));
+  return out;
+}
+
+std::int64_t pathDelay(std::int64_t wirelength, int vias,
+                       const TimingOptions& opts) {
+  return wirelength * opts.delayPerTrack +
+         std::int64_t(vias) * opts.delayPerVia;
+}
+
+std::vector<TimingEdge> deriveTimingEdges(const Netlist& nl,
+                                          const TimingOptions& opts) {
+  std::vector<TimingEdge> edges;
+  for (const Net& a : nl.nets) {
+    std::vector<GridNode> sinks;
+    if (!a.target.candidates.empty()) sinks.push_back(pinLoc(a.target));
+    for (const Pin& t : a.taps) {
+      if (!t.candidates.empty()) sinks.push_back(pinLoc(t));
+    }
+    for (const Net& b : nl.nets) {
+      if (a.id == b.id || b.source.candidates.empty()) continue;
+      const GridNode src = pinLoc(b.source);
+      for (const GridNode& s : sinks) {
+        if (manhattanTracks(s, src) <= opts.cellRadius) {
+          edges.push_back({a.id, b.id});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const TimingEdge& x,
+                                           const TimingEdge& y) {
+    return x.from != y.from ? x.from < y.from : x.to < y.to;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<TimingEdge> pruneTimingCycles(std::size_t netCount,
+                                          std::span<const TimingEdge> edges) {
+  // Greedy maximal acyclic subgraph: keep an edge unless its target
+  // already reaches its source through kept edges. Net-level graphs are
+  // proximity-sparse, so the per-edge BFS stays cheap; determinism comes
+  // from the (from, to)-sorted processing order.
+  std::vector<TimingEdge> sorted(edges.begin(), edges.end());
+  std::sort(sorted.begin(), sorted.end(), [](const TimingEdge& x,
+                                             const TimingEdge& y) {
+    return x.from != y.from ? x.from < y.from : x.to < y.to;
+  });
+  std::vector<std::vector<NetId>> adj(netCount);
+  std::vector<TimingEdge> kept;
+  std::vector<char> seen(netCount, 0);
+  std::vector<NetId> stack;
+  auto reaches = [&](NetId from, NetId goal) {
+    std::fill(seen.begin(), seen.end(), 0);
+    stack.assign(1, from);
+    seen[std::size_t(from)] = 1;
+    while (!stack.empty()) {
+      const NetId v = stack.back();
+      stack.pop_back();
+      if (v == goal) return true;
+      for (const NetId w : adj[std::size_t(v)]) {
+        if (seen[std::size_t(w)] == 0) {
+          seen[std::size_t(w)] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    return false;
+  };
+  for (const TimingEdge& e : sorted) {
+    if (e.from < 0 || e.to < 0 || std::size_t(e.from) >= netCount ||
+        std::size_t(e.to) >= netCount || e.from == e.to) {
+      continue;
+    }
+    if (reaches(e.to, e.from)) continue;  // would close a cycle: drop
+    adj[std::size_t(e.from)].push_back(e.to);
+    kept.push_back(e);
+  }
+  return kept;
+}
+
+TimingResult analyzeTiming(std::size_t netCount,
+                           std::span<const TimingEdge> edges,
+                           std::span<const std::int64_t> delays,
+                           const TimingOptions& opts) {
+  TimingResult res;
+  std::vector<std::vector<NetId>> out(netCount);
+  std::vector<std::vector<NetId>> in(netCount);
+  std::vector<int> indeg(netCount, 0);
+  for (const TimingEdge& e : edges) {
+    if (e.from < 0 || e.to < 0 || std::size_t(e.from) >= netCount ||
+        std::size_t(e.to) >= netCount || e.from == e.to) {
+      continue;
+    }
+    out[std::size_t(e.from)].push_back(e.to);
+    in[std::size_t(e.to)].push_back(e.from);
+    ++indeg[std::size_t(e.to)];
+  }
+
+  // Kahn with an ascending-id ready set: the topological order (and so
+  // every tie in arrival/required propagation) is a pure function of the
+  // graph, not of container iteration order.
+  std::vector<NetId> ready;
+  for (std::size_t i = 0; i < netCount; ++i) {
+    if (indeg[i] == 0) ready.push_back(NetId(i));
+  }
+  std::vector<NetId>& order = res.analysis.topoOrder;
+  order.reserve(netCount);
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const NetId v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (const NetId w : out[std::size_t(v)]) {
+      if (--indeg[std::size_t(w)] == 0) ready.push_back(w);
+    }
+  }
+
+  if (order.size() != netCount) {
+    // A cycle remains among nets with indeg > 0 -- but so do nets merely
+    // downstream of one. Trim stuck nets with no stuck successor until a
+    // fixpoint: what survives has a stuck successor by construction, so
+    // the walk below can never dead-end.
+    std::vector<char> stuck(netCount, 0);
+    for (std::size_t i = 0; i < netCount; ++i) stuck[i] = indeg[i] > 0;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t i = 0; i < netCount; ++i) {
+        if (stuck[i] == 0) continue;
+        bool hasStuckSucc = false;
+        for (const NetId w : out[i]) {
+          if (stuck[std::size_t(w)] != 0) {
+            hasStuckSucc = true;
+            break;
+          }
+        }
+        if (!hasStuckSucc) {
+          stuck[i] = 0;
+          changed = true;
+        }
+      }
+    }
+    // Walk from the smallest surviving net along smallest-id surviving
+    // out-edges until a node repeats, then emit the loop rotated so its
+    // smallest id leads.
+    NetId start = kInvalidNet;
+    for (std::size_t i = 0; i < netCount; ++i) {
+      if (stuck[i] != 0) {
+        start = NetId(i);
+        break;
+      }
+    }
+    std::vector<NetId> walk;
+    std::vector<int> posOf(netCount, -1);
+    NetId v = start;
+    while (posOf[std::size_t(v)] < 0) {
+      posOf[std::size_t(v)] = int(walk.size());
+      walk.push_back(v);
+      NetId next = kInvalidNet;
+      for (const NetId w : out[std::size_t(v)]) {
+        if (stuck[std::size_t(w)] != 0 && (next == kInvalidNet || w < next)) {
+          next = w;
+        }
+      }
+      v = next;
+    }
+    std::vector<NetId> cycle(walk.begin() + posOf[std::size_t(v)],
+                             walk.end());
+    const auto lo = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), lo, cycle.end());
+    std::ostringstream msg;
+    msg << "timing graph has a cycle:";
+    for (const NetId n : cycle) msg << " " << n;
+    res.error = TimingCycleError{std::move(cycle), msg.str()};
+    return res;
+  }
+
+  TimingAnalysis& a = res.analysis;
+  a.nets.assign(netCount, NetTiming{});
+  for (std::size_t i = 0; i < netCount; ++i) {
+    a.nets[i].delay = i < delays.size() ? delays[i] : 0;
+  }
+  for (const NetId v : order) {
+    std::int64_t arr = 0;
+    for (const NetId u : in[std::size_t(v)]) {
+      arr = std::max(arr, a.nets[std::size_t(u)].arrival);
+    }
+    a.nets[std::size_t(v)].arrival = arr + a.nets[std::size_t(v)].delay;
+    a.criticalPath =
+        std::max(a.criticalPath, a.nets[std::size_t(v)].arrival);
+  }
+  a.period = opts.period > 0
+                 ? opts.period
+                 : a.criticalPath +
+                       (a.criticalPath * opts.periodMarginPct) / 100;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NetId v = *it;
+    std::int64_t req = a.period;
+    for (const NetId w : out[std::size_t(v)]) {
+      req = std::min(req, a.nets[std::size_t(w)].required -
+                              a.nets[std::size_t(w)].delay);
+    }
+    a.nets[std::size_t(v)].required = req;
+    a.nets[std::size_t(v)].slack = req - a.nets[std::size_t(v)].arrival;
+  }
+
+  std::int64_t minSlack = std::numeric_limits<std::int64_t>::max();
+  std::int64_t maxSlack = std::numeric_limits<std::int64_t>::min();
+  for (const NetTiming& t : a.nets) {
+    minSlack = std::min(minSlack, t.slack);
+    maxSlack = std::max(maxSlack, t.slack);
+  }
+  if (netCount == 0) minSlack = maxSlack = 0;
+  a.worstSlack = minSlack;
+  // crit64: full-range normalization over the observed slack spread, so
+  // the most critical nets always land on 64 and the slackest on 0. A
+  // degenerate spread (all equal) means nothing to discriminate: 0.
+  const std::int64_t spread = maxSlack - minSlack;
+  for (NetTiming& t : a.nets) {
+    t.crit64 =
+        spread == 0 ? 0 : int(((maxSlack - t.slack) * 64) / spread);
+  }
+  return res;
+}
+
+}  // namespace sadp

@@ -122,6 +122,11 @@ void addOutcome(JsonValue& r, const RouteOutcome& o) {
   r.set("cache_hits", o.cacheHits);
   r.set("cache_misses", o.cacheMisses);
   r.set("nets_dirty", o.netsDirty);
+  if (o.stats.timingValid) {
+    r.set("worst_slack", o.stats.worstSlack);
+    r.set("negotiate_iters", o.stats.negotiateIters);
+    r.set("negotiate_overflow", o.stats.negotiateOverflow);
+  }
   JsonValue phases{JsonValue::Object{}};
   for (const SpanAggregate& s : o.phases) {
     phases.set(s.name, double(s.wallNs) / 1e6);
@@ -575,6 +580,44 @@ JsonValue RouteServer::handleLoad(const JsonValue& req,
                          patterningBackendNames() + ")");
     }
     routerOpts.backend = backend;
+  }
+  // {"timing":true} / {"negotiate":true} opt the session into the
+  // timing-driven / negotiated-congestion modes (negotiate implies timing,
+  // mirroring the CLI). Numeric knobs reject anything but their exact
+  // JSON type and range -- a typo'd load must not silently route with
+  // default knobs.
+  if (const JsonValue* v = req.find("timing"); v != nullptr) {
+    if (!v->isBool()) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request", "timing must be a boolean");
+    }
+    routerOpts.timingDriven = v->asBool();
+  }
+  if (const JsonValue* v = req.find("negotiate"); v != nullptr) {
+    if (!v->isBool()) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request", "negotiate must be a boolean");
+    }
+    if (v->asBool()) {
+      routerOpts.negotiate = true;
+      routerOpts.timingDriven = true;
+    }
+  }
+  if (const JsonValue* v = req.find("negotiate_iters"); v != nullptr) {
+    if (!v->isInt() || v->asInt() < 1) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request",
+                     "negotiate_iters must be an integer >= 1");
+    }
+    routerOpts.maxNegotiateIters = int(v->asInt());
+  }
+  if (const JsonValue* v = req.find("history_cost"); v != nullptr) {
+    if (!v->isNumber() || !(v->asDouble() >= 0.0)) {
+      *errCode = "bad_request";
+      return errResp(&req, "bad_request",
+                     "history_cost must be a number >= 0");
+    }
+    routerOpts.historyIncrement = float(v->asDouble());
   }
   auto session = std::make_shared<Session>(name, spec, cache, routerOpts);
   if (const auto v = intField(req, "threads"); v && *v > 0) {

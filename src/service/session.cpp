@@ -266,6 +266,10 @@ RouteOutcome Session::runOnce(int netsDirty, const Rect& dirtyTr,
   row << out.stats.totalNets << ',' << out.stats.routability() << ','
       << out.report.sideOverlayNm << ',' << out.report.cutConflicts() << ','
       << out.report.hardOverlays << ',' << ctx_.threadCount();
+  if (out.stats.timingValid) {
+    row << ',' << out.stats.worstSlack << ',' << out.stats.negotiateIters
+        << ',' << out.stats.negotiateOverflow;
+  }
   out.csvRow = row.str();
 
   out.searches = memo_.misses();

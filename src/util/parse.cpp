@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <climits>
+#include <cmath>
 
 namespace sadp {
 
@@ -37,6 +38,45 @@ std::optional<int> parseStrictInt(const std::string& s) {
 
 std::optional<int> parseStrictIntIn(const std::string& s, int lo, int hi) {
   const auto v = parseStrictInt(s);
+  if (!v || *v < lo || *v > hi) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parseStrictDouble(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t i = 0;
+  if (s[0] == '-') i = 1;
+  if (i == s.size()) return std::nullopt;
+  bool sawDot = false;
+  bool digitsBefore = false;
+  bool digitsAfter = false;
+  for (std::size_t j = i; j < s.size(); ++j) {
+    const char c = s[j];
+    if (c == '.') {
+      if (sawDot) return std::nullopt;
+      sawDot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      (sawDot ? digitsAfter : digitsBefore) = true;
+    } else {
+      return std::nullopt;  // exponents, hex, whitespace: all rejected
+    }
+  }
+  if (!digitsBefore || (sawDot && !digitsAfter)) return std::nullopt;
+  errno = 0;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (pos != s.size() || !std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parseStrictDoubleIn(const std::string& s, double lo,
+                                          double hi) {
+  const auto v = parseStrictDouble(s);
   if (!v || *v < lo || *v > hi) return std::nullopt;
   return v;
 }

@@ -25,4 +25,15 @@ std::optional<int> parseStrictInt(const std::string& s);
 /// Range-checked form: value must lie in [lo, hi].
 std::optional<int> parseStrictIntIn(const std::string& s, int lo, int hi);
 
+/// Parses `s` as a plain decimal number: an optional '-', digits, and at
+/// most one '.' with digits on both sides ("1", "-0.5", "2.25"). Rejects
+/// exponents, hex floats, inf/nan, signs other than a single leading '-',
+/// and any trailing junk -- the same strictness contract as the integer
+/// parsers, for CLI/service weight options like history-cost increments.
+std::optional<double> parseStrictDouble(const std::string& s);
+
+/// Range-checked form: value must lie in [lo, hi] and be finite.
+std::optional<double> parseStrictDoubleIn(const std::string& s, double lo,
+                                          double hi);
+
 }  // namespace sadp

@@ -171,6 +171,7 @@ if [ "${BENCH_SMOKE_SKIP_ASAN:-0}" != "1" ]; then
   cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_astar_equiv test_bitmap_simd test_schedule_fuzz \
     test_service_fuzz test_wave_planner test_route_parallel_fuzz \
+    test_timing_oracle test_timing_fuzz \
     test_backend_fuzz >/dev/null
   (cd "$asan_dir" && ctest -L fuzz --output-on-failure)
   echo "bench_smoke: fuzz label clean under -DSADP_SANITIZE=address"
@@ -190,7 +191,7 @@ fi
 # --filter'ed) and each gated entry -- for both the comparison and the
 # values that get committed -- is the per-name minimum across the three
 # runs, which is a stable estimator of the true kernel cost.
-gate_re='^BM_(AStarRoute|AStarRouteBucket|ParityDsuUnite)'
+gate_re='^BM_(AStarRoute|AStarRouteBucket|ParityDsuUnite|NegotiatedRoute)'
 fresh="$scratch/bench_fresh.json"
 "$bench" --json "$fresh"
 "$bench" --filter "$gate_re" --json "$scratch/gate2.json"
@@ -221,7 +222,7 @@ EOF
 extract_ns "$repo_root/BENCH_kernels.json" > "$scratch/base.txt"
 extract_ns "$fresh" > "$scratch/fresh.txt"
 awk 'NR == FNR { base[$1] = $2; next }
-     $1 ~ /^BM_(AStarRoute|AStarRouteBucket|ParityDsuUnite)/ &&
+     $1 ~ /^BM_(AStarRoute|AStarRouteBucket|ParityDsuUnite|NegotiatedRoute)/ &&
      ($1 in base) && base[$1] > 0 && $2 > 1.25 * base[$1] {
        printf "bench_smoke: %s regressed: %.0f ns vs baseline %.0f ns (>25%%)\n",
               $1, $2, base[$1] > "/dev/stderr"

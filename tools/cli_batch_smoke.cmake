@@ -70,3 +70,22 @@ foreach(bad "0" "-2" "2x")
   endif()
 endforeach()
 message(STATUS "cli batch smoke OK (bad --jobs values rejected)")
+
+# The timing/negotiation knobs parse strictly too: --negotiate-iters wants a
+# positive integer, --history-cost a nonnegative decimal with no trailing
+# junk (strtod would silently read "1.5x" as 1.5).
+foreach(pair "--negotiate-iters;0" "--negotiate-iters;3x"
+             "--history-cost;-1" "--history-cost;1.5x"
+             "--history-cost;nan")
+  list(GET pair 0 flag)
+  list(GET pair 1 bad)
+  execute_process(COMMAND "${CLI}" --negotiate "${flag}" "${bad}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "${flag} ${bad} exited ${rc}, want usage error 2\n${err}")
+  endif()
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "${flag} ${bad} stderr lacks usage text:\n${err}")
+  endif()
+endforeach()
+message(STATUS "cli batch smoke OK (bad timing option values rejected)")

@@ -67,6 +67,16 @@ execute_process(
     client req --json '{\"op\":\"frobnicate\"}' --expect-error unknown_op
     client req --json '{\"op\":\"edit\",\"session\":\"s\",\"kind\":\"move_pin\",\"net\":\"n5\",\"pin_index\":1,\"pin\":[999,0,0]}' \
       --expect-error bad_request
+    # Timing/negotiation load options parse strictly: wrong JSON type or
+    # out-of-range values answer bad_request without creating a session.
+    client req --json '{\"op\":\"load\",\"session\":\"tb\",\"nets\":5,\"width\":16,\"height\":16,\"timing\":\"yes\"}' \
+      --expect-error bad_request
+    client req --json '{\"op\":\"load\",\"session\":\"tb\",\"nets\":5,\"width\":16,\"height\":16,\"negotiate\":1}' \
+      --expect-error bad_request
+    client req --json '{\"op\":\"load\",\"session\":\"tb\",\"nets\":5,\"width\":16,\"height\":16,\"negotiate\":true,\"negotiate_iters\":0}' \
+      --expect-error bad_request
+    client req --json '{\"op\":\"load\",\"session\":\"tb\",\"nets\":5,\"width\":16,\"height\":16,\"negotiate\":true,\"history_cost\":-0.5}' \
+      --expect-error bad_request
     # timeout_ms:0 expires while queued -> deterministic timeout error.
     client req --json '{\"op\":\"route\",\"session\":\"s\",\"timeout_ms\":0}' --expect-error timeout
     # Session cap 2: third load is rejected.

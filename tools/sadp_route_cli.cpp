@@ -32,6 +32,17 @@
 //                       "dynamic" (default) = cost-weighted work stealing,
 //                       "static" = shared-cursor assignment. Either mode
 //                       yields byte-identical reports, masks, and counters.
+//   --timing            timing-driven mode: net-level static timing
+//                       (estimated delays, proximity edges) orders nets by
+//                       criticality and scales per-net search weights; the
+//                       summary and CSV gain worst-slack fields
+//   --negotiate         PathFinder negotiated-congestion pre-phase (implies
+//                       --timing): nets share cells under present + history
+//                       costs until overflow-free, and the history carries
+//                       into the main loop as a base penalty field
+//   --negotiate-iters N maximum negotiation iterations (default 16)
+//   --history-cost X    history cost added to each overflowed cell per
+//                       negotiation iteration (default 1.0)
 //   --trace FILE        write a Chrome trace-event JSON (full span events)
 //   --metrics FILE      write a flat run-metrics JSON (counters, histograms,
 //                       per-phase wall times)
@@ -94,7 +105,8 @@ struct CliArgs {
                "       [--no-repair] [--seed-demo N] [--threads N]\n"
                "       [--route-jobs N] [--tile-words N]\n"
                "       [--backend sadp2|tpl3] [--schedule static|dynamic]\n"
-               "       [--trace FILE] [--metrics FILE]\n"
+               "       [--timing] [--negotiate] [--negotiate-iters N]\n"
+               "       [--history-cost X] [--trace FILE] [--metrics FILE]\n"
                "   or: sadp_route_cli --batch LIST-FILE [--jobs N]\n";
   std::exit(2);
 }
@@ -108,6 +120,17 @@ int parseIntOpt(const char* opt, const std::string& s) {
   const std::optional<int> v = parseStrictInt(s);
   if (!v) {
     usage((std::string(opt) + " wants an integer, got '" + s + "'").c_str());
+  }
+  return *v;
+}
+
+/// Strict decimal option parse: plain digits with at most one '.', no
+/// exponents/hex/inf ("--history-cost 1e9" is a typo, not a billion).
+double parseDoubleOpt(const char* opt, const std::string& s) {
+  const std::optional<double> v = parseStrictDouble(s);
+  if (!v) {
+    usage((std::string(opt) + " wants a decimal number, got '" + s + "'")
+              .c_str());
   }
   return *v;
 }
@@ -175,6 +198,21 @@ CliArgs parseTokens(const std::vector<std::string>& tokens,
       } else {
         usage("--schedule wants 'static' or 'dynamic'");
       }
+    } else if (opt == "--timing") {
+      a.router.timingDriven = true;
+    } else if (opt == "--negotiate") {
+      a.router.negotiate = true;
+      a.router.timingDriven = true;  // negotiation measures against slack
+    } else if (opt == "--negotiate-iters") {
+      a.router.maxNegotiateIters =
+          parseIntOpt("--negotiate-iters", value(i));
+      if (a.router.maxNegotiateIters <= 0) {
+        usage("--negotiate-iters wants a positive count");
+      }
+    } else if (opt == "--history-cost") {
+      const double v = parseDoubleOpt("--history-cost", value(i));
+      if (v < 0.0) usage("--history-cost wants a nonnegative value");
+      a.router.historyIncrement = float(v);
     } else if (opt == "--trace") {
       a.traceFile = value(i);
     } else if (opt == "--metrics") {
@@ -261,6 +299,13 @@ RunOutput runOne(const CliArgs& args) {
      << report.hardOverlays << " hard)\n"
      << "tip overlays " << report.tipOverlays << "\n"
      << "cut conflicts " << report.cutConflicts() << "\n";
+  if (stats.timingValid) {
+    os << "worst slack " << stats.worstSlack << "\n";
+  }
+  if (args.router.negotiate) {
+    os << "negotiate   " << stats.negotiateIters << " iters, "
+       << stats.negotiateOverflow << " overflow\n";
+  }
 
   for (int layer = 0; layer < grid.layers(); ++layer) {
     if (!args.svgPrefix.empty() || !args.maskPrefix.empty()) {
@@ -280,7 +325,14 @@ RunOutput runOne(const CliArgs& args) {
     std::ostringstream row;
     row << stats.totalNets << ',' << stats.routability() << ','
         << report.sideOverlayNm << ',' << report.cutConflicts() << ','
-        << report.hardOverlays << ',' << ctx.threadCount() << "\n";
+        << report.hardOverlays << ',' << ctx.threadCount();
+    // Timing columns only when the mode is on: default-mode rows (and
+    // every consumer parsing them) stay byte-identical to older builds.
+    if (stats.timingValid) {
+      row << ',' << stats.worstSlack << ',' << stats.negotiateIters << ','
+          << stats.negotiateOverflow;
+    }
+    row << "\n";
     out.csvRow = row.str();
   }
   if (!args.metricsFile.empty()) {
